@@ -1,0 +1,73 @@
+// Figure 9: query mix of the first gradient-boosting iteration — number of
+// feature-split vs message-passing queries, and the latency histogram.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "joinboost.h"
+
+namespace jb = joinboost;
+using jb::bench::Header;
+using jb::bench::Note;
+
+int main() {
+  Header("Figure 9: 1st-iteration query breakdown",
+         "num_nodes x num_features split queries (fast, <10ms-class) plus a "
+         "few message queries; the slowest queries are messages from the "
+         "fact table");
+
+  jb::exec::Database db(jb::EngineProfile::DSwap());
+  jb::data::FavoritaConfig config;
+  config.sales_rows = jb::bench::ScaledRows(100000);
+  jb::Dataset ds = jb::data::MakeFavorita(&db, config);
+
+  jb::core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 1;
+  params.num_leaves = 8;
+  db.ClearQueryLog();
+  jb::TrainResult res = jb::Train(params, ds);
+
+  size_t features = ds.graph().AllFeatures().size();
+  std::printf("  (a) query counts: feature=%zu message=%zu\n",
+              res.feature_queries, res.message_queries);
+  Note("expected feature queries = 15 nodes x " + std::to_string(features) +
+       " features = " + std::to_string(15 * features));
+
+  // Latency histogram, split by tag.
+  auto log = db.QueryLog();
+  std::vector<double> feature_ms, message_ms;
+  for (const auto& e : log) {
+    if (e.tag == "feature") feature_ms.push_back(e.ms);
+    if (e.tag == "message") message_ms.push_back(e.ms);
+  }
+  auto histo = [](const std::string& label, std::vector<double> ms) {
+    if (ms.empty()) return;
+    std::sort(ms.begin(), ms.end());
+    std::printf("  (b) %s latency ms: p50=%.2f p90=%.2f max=%.2f\n",
+                label.c_str(), ms[ms.size() / 2], ms[ms.size() * 9 / 10],
+                ms.back());
+    // Buckets (log2 ms).
+    std::vector<int> buckets(12, 0);
+    for (double m : ms) {
+      int b = m <= 1 ? 0 : std::min(11, 1 + static_cast<int>(std::log2(m)));
+      ++buckets[static_cast<size_t>(b)];
+    }
+    std::printf("      histogram(<=1ms,2,4,8,...):");
+    for (int b : buckets) std::printf(" %d", b);
+    std::printf("\n");
+  };
+  histo("feature-split", feature_ms);
+  histo("message", message_ms);
+
+  double fmax = feature_ms.empty()
+                    ? 0
+                    : *std::max_element(feature_ms.begin(), feature_ms.end());
+  double mmax = message_ms.empty()
+                    ? 0
+                    : *std::max_element(message_ms.begin(), message_ms.end());
+  Note(std::string("slowest message vs slowest split query: ") +
+       std::to_string(mmax) + "ms vs " + std::to_string(fmax) + "ms");
+  return 0;
+}

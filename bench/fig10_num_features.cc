@@ -1,0 +1,62 @@
+// Figure 10: gradient boosting time at iterations 10 and 50 while the number
+// of imputed features grows (5 -> 50); LightGBM slows superlinearly and runs
+// out of memory at the widest setting.
+#include "baselines/dense_dataset.h"
+#include "baselines/histogram_gbdt.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "joinboost.h"
+#include "util/timer.h"
+
+namespace jb = joinboost;
+using jb::bench::Header;
+using jb::bench::Note;
+using jb::bench::Row;
+
+int main() {
+  Header("Figure 10: scaling the number of features",
+         "JoinBoost scales linearly with a ~10x lower slope; LightGBM slows "
+         ">1.5x by the middle setting and OOMs at the widest");
+
+  size_t rows = jb::bench::ScaledRows(25000);
+  // extra features per dimension -> total features 12 / 24 / 44.
+  std::vector<int> extras = {1, 3, 7};
+  // Budget sized so only the widest dense matrix overflows.
+  size_t budget = rows * 30 * 8 * 2;
+
+  for (int iters : {5, 15}) {
+    std::printf("\n  -- iteration %d --\n", iters);
+    for (int extra : extras) {
+      jb::data::FavoritaConfig config;
+      config.sales_rows = rows;
+      config.extra_features_per_dim = extra;
+
+      jb::exec::Database db(jb::EngineProfile::DSwap());
+      jb::Dataset ds = jb::data::MakeFavorita(&db, config);
+      size_t nfeat = ds.graph().AllFeatures().size();
+
+      jb::core::TrainParams params;
+      params.boosting = "gbdt";
+      params.num_iterations = iters;
+      params.num_leaves = 8;
+
+      jb::Timer t;
+      jb::Train(params, ds);
+      Row("JoinBoost  features=" + std::to_string(nfeat), t.Seconds());
+
+      try {
+        jb::Timer lt;
+        jb::baselines::DenseDataset dense =
+            jb::baselines::MaterializeExportLoad(ds, nullptr, budget);
+        jb::ThreadPool pool(8);
+        jb::baselines::HistogramGbdt trainer(params, &pool);
+        trainer.Train(dense);
+        Row("LightGBM   features=" + std::to_string(nfeat), lt.Seconds());
+      } catch (const jb::baselines::OomError& e) {
+        Note("LightGBM   features=" + std::to_string(nfeat) +
+             ": OUT OF MEMORY (" + e.what() + ")");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11: single-node scalability on TPC-DS-like data, varying the scale
+// factor; both systems scale linearly, JoinBoost with a much lower slope,
+// and LightGBM OOMs at the largest SF.
+#include "baselines/dense_dataset.h"
+#include "baselines/histogram_gbdt.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "joinboost.h"
+#include "util/timer.h"
+
+namespace jb = joinboost;
+using jb::bench::Header;
+using jb::bench::Note;
+using jb::bench::Row;
+
+int main() {
+  Header("Figure 11: database size (TPC-DS-like SF sweep)",
+         "both scale linearly; JoinBoost slope ~10x lower at iteration 10; "
+         "LightGBM OOMs at the largest SF");
+
+  std::vector<double> sfs = {1, 1.5, 2};
+  size_t base_rows = jb::bench::ScaledRows(30000);
+  // Budget sized so only the largest SF's dense matrix overflows.
+  size_t budget = static_cast<size_t>(1.7 * static_cast<double>(base_rows)) *
+                  16 * 8 * 2;
+
+  for (int iters : {5, 15}) {
+    std::printf("\n  -- iteration %d --\n", iters);
+    for (double sf : sfs) {
+      jb::data::TpcdsConfig config;
+      config.scale_factor = sf;
+      config.base_fact_rows = base_rows;
+      config.num_features = 15;
+
+      jb::exec::Database db(jb::EngineProfile::DSwap());
+      jb::Dataset ds = jb::data::MakeTpcds(&db, config);
+
+      jb::core::TrainParams params;
+      params.boosting = "gbdt";
+      params.num_iterations = iters;
+      params.num_leaves = 8;
+
+      jb::Timer t;
+      jb::Train(params, ds);
+      Row("JoinBoost  SF=" + std::to_string(sf), t.Seconds());
+
+      try {
+        jb::Timer lt;
+        jb::baselines::DenseDataset dense =
+            jb::baselines::MaterializeExportLoad(ds, nullptr, budget);
+        jb::ThreadPool pool(8);
+        jb::baselines::HistogramGbdt trainer(params, &pool);
+        trainer.Train(dense);
+        Row("LightGBM   SF=" + std::to_string(sf), lt.Seconds());
+      } catch (const jb::baselines::OomError&) {
+        Note("LightGBM   SF=" + std::to_string(sf) + ": OUT OF MEMORY");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 14: gradient boosting over the IMDB-like galaxy schema with
+// Clustered Predicate Trees. The materialized join is combinatorially huge
+// (ML libraries cannot run at all); JoinBoost scales linearly per tree.
+#include "bench_util.h"
+#include "data/generators.h"
+#include "joinboost.h"
+#include "util/timer.h"
+
+namespace jb = joinboost;
+using jb::bench::Header;
+using jb::bench::Note;
+using jb::bench::Row;
+using jb::bench::Series;
+
+int main() {
+  Header("Figure 14: galaxy-schema GBDT on IMDB-like data (CPT)",
+         "time grows linearly with iterations (~constant per tree); ML "
+         "libraries cannot run because the join is too large to materialize");
+
+  jb::data::ImdbConfig config;
+  config.num_movies = jb::bench::ScaledRows(2500);
+  config.num_persons = jb::bench::ScaledRows(6000);
+
+  jb::exec::Database db(jb::EngineProfile::DSwap());
+  jb::Dataset ds = jb::data::MakeImdb(&db, config);
+  ds.Prepare();
+
+  // Report the (unmaterialized) join explosion.
+  double rows_product = 1;
+  for (const auto& rel : ds.graph().relations()) {
+    rows_product *= std::max<double>(1.0, static_cast<double>(rel.num_rows));
+  }
+  Note("base tables total rows: see below; naive cross-size upper bound ~1e" +
+       std::to_string(static_cast<int>(std::log10(rows_product))));
+
+  jb::core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_leaves = 4;
+  params.learning_rate = 0.1;
+
+  std::vector<double> xs, ys;
+  double total = 0;
+  int done = 0;
+  for (int cp : {2, 4, 6, 8, 10}) {
+    params.num_iterations = cp - done;
+    jb::Timer t;
+    jb::Train(params, ds);
+    total += t.Seconds();
+    done = cp;
+    xs.push_back(cp);
+    ys.push_back(total);
+  }
+  Series("JoinBoost galaxy", xs, ys);
+  Row("per-tree seconds", total / done);
+  Note("LightGBM: CANNOT RUN (join result too large to materialize)");
+  return 0;
+}

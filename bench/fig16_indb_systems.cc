@@ -1,0 +1,79 @@
+// Figure 16: decision-tree training vs in-DB ML systems. (a) Naive (full
+// materialization) vs Batch (per-node factorized batches; the LMFAO proxy)
+// vs JoinBoost (cross-node message caching). (b) vs the MADLib-like
+// non-factorized row-based trainer on a reduced dataset.
+#include "baselines/dense_dataset.h"
+#include "baselines/madlib_like.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "joinboost.h"
+#include "util/timer.h"
+
+namespace jb = joinboost;
+using jb::bench::Header;
+using jb::bench::Note;
+using jb::bench::Row;
+
+int main() {
+  Header("Figure 16a: decision tree vs factorized in-DB systems",
+         "Naive > Batch (LMFAO proxy) > JoinBoost; message caching across "
+         "tree nodes buys ~3x over per-node batching");
+
+  jb::data::FavoritaConfig config;
+  config.sales_rows = jb::bench::ScaledRows(40000);
+
+  jb::core::TrainParams params;
+  params.boosting = "dt";
+  params.num_leaves = 32;
+  params.max_depth = 10;
+
+  double t_joinboost = 0;
+  for (const char* variant : {"naive", "batch", "factorized"}) {
+    jb::exec::Database db(jb::EngineProfile::DSwap());
+    jb::Dataset ds = jb::data::MakeFavorita(&db, config);
+    params.variant = variant;
+    jb::Timer t;
+    jb::TrainResult res = jb::Train(params, ds);
+    double secs = t.Seconds();
+    std::string label = std::string(variant) == "batch"
+                            ? "Batch (LMFAO proxy)"
+                            : variant;
+    Row(label, secs);
+    if (std::string(variant) == "factorized") {
+      t_joinboost = secs;
+      Note("message cache hits=" + std::to_string(res.cache_hits) +
+           " misses=" + std::to_string(res.cache_misses));
+    }
+  }
+  Note("LMFAO itself (compiled engine) sits between Batch and JoinBoost; "
+       "the paper measures it 1.9x slower than JoinBoost");
+
+  Header("Figure 16b: vs MADLib-like non-factorized trainer (10k rows)",
+         "JoinBoost ~16x faster");
+  jb::data::FavoritaConfig small = config;
+  small.sales_rows = 10000;
+  {
+    jb::exec::Database db(jb::EngineProfile::DSwap());
+    jb::Dataset ds = jb::data::MakeFavorita(&db, small);
+    params.variant = "factorized";
+    jb::Timer t;
+    jb::Train(params, ds);
+    double jb_secs = t.Seconds();
+    Row("JoinBoost (10k)", jb_secs);
+  }
+  {
+    // MADLib proxy: non-factorized (materialized wide table) training inside
+    // a row-oriented engine — tuple-at-a-time execution, no factorization,
+    // the cost profile of a PostgreSQL-extension trainer.
+    jb::exec::Database db(jb::EngineProfile::XRow());
+    jb::Dataset ds = jb::data::MakeFavorita(&db, small);
+    jb::core::TrainParams mp = params;
+    mp.variant = "naive";
+    jb::Timer mt;
+    jb::Train(mp, ds);
+    double mad_secs = mt.Seconds();
+    Row("MADLib-like (10k, row-store naive)", mad_secs);
+  }
+  (void)t_joinboost;
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark micro suite: semi-ring operations, engine kernels
+// (hash join, hash aggregate, compression) and the residual-update
+// strategies in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/boosting.h"
+#include "core/session.h"
+#include "data/generators.h"
+#include "joinboost.h"
+#include "semiring/semiring.h"
+#include "storage/compression.h"
+#include "util/rng.h"
+
+namespace jb = joinboost;
+
+static void BM_VarianceSemiringMul(benchmark::State& state) {
+  jb::Rng rng(1);
+  std::vector<jb::semiring::VarianceElem> elems(4096);
+  for (auto& e : elems) {
+    e = jb::semiring::VarianceElem::Lift(rng.NextDouble());
+  }
+  for (auto _ : state) {
+    jb::semiring::VarianceElem acc = jb::semiring::VarianceElem::One();
+    for (const auto& e : elems) acc = acc * e;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_VarianceSemiringMul);
+
+static void BM_CompressionRoundtripInts(benchmark::State& state) {
+  jb::Rng rng(2);
+  std::vector<int64_t> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.NextInt(0, 10000);
+  for (auto _ : state) {
+    auto enc = jb::compression::EncodeInts(values);
+    auto dec = jb::compression::DecodeInts(enc);
+    benchmark::DoNotOptimize(dec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompressionRoundtripInts)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_HashJoinAggregate(benchmark::State& state) {
+  jb::exec::Database db(jb::EngineProfile::DSwap());
+  jb::Rng rng(3);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> k(n);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    k[i] = rng.NextInt(0, 999);
+    v[i] = rng.NextDouble();
+  }
+  db.RegisterTable(
+      jb::TableBuilder("t").AddInts("k", k).AddDoubles("v", v).Build());
+  std::vector<int64_t> dk(1000);
+  std::vector<double> dv(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    dk[i] = static_cast<int64_t>(i);
+    dv[i] = rng.NextDouble();
+  }
+  db.RegisterTable(
+      jb::TableBuilder("d").AddInts("k", dk).AddDoubles("w", dv).Build());
+  for (auto _ : state) {
+    auto res = db.Query(
+        "SELECT d.w AS w, SUM(t.v) AS s FROM t JOIN d ON t.k = d.k "
+        "GROUP BY d.w");
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoinAggregate)->Arg(1 << 16)->Arg(1 << 18);
+
+static void BM_ResidualUpdateStrategy(benchmark::State& state) {
+  const char* strategies[] = {"swap", "create", "update", "naive_u"};
+  const char* strategy = strategies[state.range(0)];
+  jb::exec::Database db(jb::EngineProfile::DSwap());
+  jb::data::PilotConfig config;
+  config.rows = 200000;
+  jb::Dataset ds = jb::data::MakePilot(&db, config);
+  jb::core::TrainParams params;
+  params.boosting = "gbdt";
+  params.update_strategy = strategy;
+  jb::core::Session session(&ds, params);
+  session.Prepare();
+  jb::core::GradientBoosting gb(&session, params);
+  jb::core::GrowthResult grown;
+  grown.tree.nodes.push_back(jb::core::TreeNode{});
+  for (int i = 0; i < 8; ++i) {
+    jb::core::GrowthResult::LeafInfo leaf;
+    leaf.node = 0;
+    leaf.preds.Add(0, "d > " + std::to_string(1250 * i));
+    leaf.preds.Add(0, "d <= " + std::to_string(1250 * (i + 1)));
+    leaf.raw_value = 0.01;
+    grown.leaves.push_back(std::move(leaf));
+  }
+  for (auto _ : state) {
+    gb.UpdateResiduals(session, grown, session.y_fact());
+  }
+  state.SetLabel(strategy);
+}
+BENCHMARK(BM_ResidualUpdateStrategy)->DenseRange(0, 3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Training over a galaxy schema: the IMDB-like workload whose full join is
+// too large to materialize (paper: >1TB). Gradient boosting proceeds via
+// Clustered Predicate Trees (§4.2.2): each tree is confined to one cluster
+// so residual updates stay factorized.
+#include <cstdio>
+
+#include "data/generators.h"
+#include "joinboost.h"
+
+int main() {
+  using namespace joinboost;
+
+  exec::Database db(EngineProfile::DSwap());
+  data::ImdbConfig config;
+  config.num_movies = 1500;
+  config.num_persons = 4000;
+  Dataset ds = data::MakeImdb(&db, config);
+  ds.Prepare();
+
+  // Show the CPT clusters (paper Figure 3: five clusters, fact highlighted).
+  std::vector<int> facts;
+  std::vector<int> clusters = ds.graph().ComputeClusters(&facts);
+  std::printf("CPT clusters:\n");
+  for (size_t cid = 0; cid < facts.size(); ++cid) {
+    std::printf("  cluster %zu (fact=%s):", cid,
+                ds.graph().relation(facts[cid]).name.c_str());
+    for (size_t r = 0; r < clusters.size(); ++r) {
+      if (clusters[r] == static_cast<int>(cid)) {
+        std::printf(" %s", ds.graph().relation(static_cast<int>(r)).name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.objective = "regression";  // rmse: the add-to-mul preserving one
+  params.num_iterations = 12;
+  params.num_leaves = 4;
+  params.learning_rate = 0.15;
+  TrainResult res = Train(params, ds);
+
+  std::printf("\ntrained %zu trees in %.2fs — residual updates %.2fs\n",
+              res.model.trees.size(), res.seconds, res.update_seconds);
+
+  // Which cluster did each tree pick?
+  for (size_t t = 0; t < res.model.trees.size(); ++t) {
+    const auto& tree = res.model.trees[t];
+    std::string root_feature = "(none)";
+    for (const auto& n : tree.nodes) {
+      if (!n.is_leaf) {
+        root_feature = n.feature;
+        break;
+      }
+    }
+    std::printf("  tree %zu splits first on %s\n", t, root_feature.c_str());
+  }
+
+  // Evaluation materializes the join — only feasible at this toy scale.
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  auto curve = eval.RmseCurve(res.model);
+  std::printf("\njoin cardinality at toy scale: %zu rows\n", eval.rows());
+  std::printf("rmse: %.3f -> %.3f over %zu iterations\n", curve.front(),
+              curve.back(), res.model.trees.size());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// A tiny interactive SQL shell over the embedded engine — handy for poking
+// at the tables, messages and update relations JoinBoost creates.
+// Usage: ./sql_shell            (starts with demo tables loaded)
+//        echo "SELECT ..." | ./sql_shell
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "joinboost.h"
+
+int main() {
+  using namespace joinboost;
+  exec::Database db(EngineProfile::DSwap());
+
+  db.LoadTable(TableBuilder("r")
+                   .AddInts("a", {1, 1, 2, 2})
+                   .AddInts("b", {2, 3, 1, 2})
+                   .Build());
+  db.LoadTable(TableBuilder("s")
+                   .AddInts("a", {1, 1, 2})
+                   .AddInts("c", {2, 1, 3})
+                   .Build());
+
+  std::printf("joinboost sql shell — tables: r(a,b), s(a,c). "
+              "\\dt lists tables, \\q quits.\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\dt") {
+      for (const auto& name : db.catalog().ListTables()) {
+        auto t = db.catalog().Get(name);
+        std::printf("  %s %s (%zu rows)\n", name.c_str(),
+                    t->schema().ToString().c_str(), t->num_rows());
+      }
+      continue;
+    }
+    try {
+      auto res = db.Execute(line);
+      if (res.table) {
+        const auto& t = *res.table;
+        for (const auto& c : t.cols) std::printf("%12s", c.name.c_str());
+        std::printf("\n");
+        for (size_t r = 0; r < std::min<size_t>(t.rows, 20); ++r) {
+          for (size_t c = 0; c < t.cols.size(); ++c) {
+            Value v = t.GetValue(r, c);
+            if (v.null) {
+              std::printf("%12s", "NULL");
+            } else if (v.type == TypeId::kFloat64) {
+              std::printf("%12.4f", v.d);
+            } else if (v.type == TypeId::kString) {
+              std::printf("%12s", v.s.c_str());
+            } else {
+              std::printf("%12lld", static_cast<long long>(v.i));
+            }
+          }
+          std::printf("\n");
+        }
+        if (t.rows > 20) std::printf("  ... (%zu rows)\n", t.rows);
+      } else {
+        std::printf("ok (%zu rows affected)\n", res.affected);
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "baselines/dense_dataset.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/evaluate.h"
+#include "util/timer.h"
+
+namespace joinboost {
+namespace baselines {
+
+DenseDataset MaterializeExportLoad(Dataset& data, ExportStats* stats,
+                                   size_t memory_budget_bytes) {
+  ExportStats local;
+  Timer timer;
+
+  // 1. Materialize the join inside the engine.
+  std::string sql = core::FullJoinSql(data);
+  auto joined = data.db()->Query(sql, "export");
+  local.join_seconds = timer.Seconds();
+
+  // 2. Export: serialize to CSV text (the transfer format of §1).
+  timer.Reset();
+  std::string csv;
+  csv.reserve(joined->rows * joined->cols.size() * 8);
+  for (size_t c = 0; c < joined->cols.size(); ++c) {
+    if (c) csv += ',';
+    csv += joined->cols[c].name;
+  }
+  csv += '\n';
+  char buf[64];
+  for (size_t r = 0; r < joined->rows; ++r) {
+    for (size_t c = 0; c < joined->cols.size(); ++c) {
+      if (c) csv += ',';
+      const auto& v = joined->cols[c].data;
+      if (v.type == TypeId::kFloat64) {
+        int n = std::snprintf(buf, sizeof(buf), "%.17g", (*v.dbls)[r]);
+        csv.append(buf, static_cast<size_t>(n));
+      } else {
+        int n = std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>((*v.ints)[r]));
+        csv.append(buf, static_cast<size_t>(n));
+      }
+    }
+    csv += '\n';
+  }
+  local.csv_bytes = csv.size();
+  local.export_seconds = timer.Seconds();
+
+  // Memory accounting before the load allocates the dense matrix.
+  DenseDataset out;
+  out.num_rows = joined->rows;
+  size_t ncols = joined->cols.size();
+  size_t projected = joined->rows * ncols * 8 * 2;
+  if (memory_budget_bytes > 0 && projected > memory_budget_bytes) {
+    throw OomError("dense dataset needs " + std::to_string(projected) +
+                   " bytes, budget is " + std::to_string(memory_budget_bytes));
+  }
+
+  // 3. Load: parse the CSV back (as LightGBM's CLI loader would).
+  timer.Reset();
+  size_t pos = 0;
+  // header
+  {
+    size_t eol = csv.find('\n', pos);
+    std::string header = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t start = 0;
+    while (start <= header.size()) {
+      size_t comma = header.find(',', start);
+      if (comma == std::string::npos) comma = header.size();
+      out.feature_names.push_back(header.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+  int y_idx = -1;
+  for (size_t i = 0; i < out.feature_names.size(); ++i) {
+    if (out.feature_names[i] == "jb_y") y_idx = static_cast<int>(i);
+  }
+  JB_CHECK_MSG(y_idx >= 0, "exported join lacks jb_y");
+
+  out.features.assign(ncols - 1, {});
+  for (auto& col : out.features) col.reserve(out.num_rows);
+  out.y.reserve(out.num_rows);
+  const char* p = csv.c_str() + pos;
+  for (size_t r = 0; r < out.num_rows; ++r) {
+    size_t fcol = 0;
+    for (size_t c = 0; c < ncols; ++c) {
+      char* end;
+      double v = std::strtod(p, &end);
+      p = end;
+      if (*p == ',' || *p == '\n') ++p;
+      if (static_cast<int>(c) == y_idx) {
+        out.y.push_back(v);
+      } else {
+        out.features[fcol++].push_back(v);
+      }
+    }
+  }
+  out.feature_names.erase(out.feature_names.begin() + y_idx);
+  local.load_seconds = timer.Seconds();
+
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace joinboost

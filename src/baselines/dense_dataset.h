@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/check.h"
+
+namespace joinboost {
+namespace baselines {
+
+/// Thrown when a dense materialization exceeds the configured memory budget,
+/// reproducing the OOM cliffs of in-memory ML libraries (Figures 10–12).
+class OomError : public JbError {
+ public:
+  explicit OomError(const std::string& msg) : JbError(msg) {}
+};
+
+/// The single-table training matrix conventional ML libraries require
+/// (paper §1: materialize R⋈, export it, load it).
+struct DenseDataset {
+  std::vector<std::string> feature_names;
+  /// Column-major feature values (categoricals as dictionary codes).
+  std::vector<std::vector<double>> features;
+  std::vector<double> y;
+  size_t num_rows = 0;
+
+  size_t MemoryBytes() const {
+    // Raw matrix + the binned copy a histogram trainer keeps (LightGBM
+    // holds both, which is what blows its memory in Fig 10/11).
+    return num_rows * (features.size() + 1) * 8 * 2;
+  }
+};
+
+/// Cost breakdown of the materialize→export→load pipeline.
+struct ExportStats {
+  double join_seconds = 0;
+  double export_seconds = 0;  ///< CSV serialization
+  double load_seconds = 0;    ///< CSV parse back into arrays
+  size_t csv_bytes = 0;
+};
+
+/// Materialize the join, serialize it to CSV bytes and parse it back into a
+/// dense matrix — the genuine end-to-end cost ML libraries pay before
+/// training starts. Throws OomError when the dense matrix would exceed
+/// `memory_budget_bytes` (0 = unlimited).
+DenseDataset MaterializeExportLoad(Dataset& data, ExportStats* stats,
+                                   size_t memory_budget_bytes = 0);
+
+}  // namespace baselines
+}  // namespace joinboost

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/dense_dataset.h"
+#include "core/model.h"
+#include "core/params.h"
+#include "util/threadpool.h"
+
+namespace joinboost {
+namespace baselines {
+
+/// Per-run instrumentation matching what the paper measures for LightGBM.
+struct HistogramStats {
+  double bin_seconds = 0;             ///< feature binning ("dataset construction")
+  double train_seconds = 0;           ///< tree growth
+  double residual_update_seconds = 0; ///< parallel array writes (Fig 5 red line)
+};
+
+/// LightGBM-style in-memory trainer over dense arrays: feature binning,
+/// histogram-based leaf-wise (best-first) growth, and residual updates as
+/// parallel writes to a contiguous array — the comparator the paper
+/// benchmarks against throughout §6.
+class HistogramGbdt {
+ public:
+  explicit HistogramGbdt(core::TrainParams params,
+                         ThreadPool* pool = nullptr);
+
+  /// Train gbdt / rf / dt per params.boosting.
+  core::Ensemble Train(const DenseDataset& data, HistogramStats* stats = nullptr);
+
+ private:
+  struct Binned;
+  core::TreeModel GrowTree(const Binned& binned,
+                           const std::vector<std::string>& names,
+                           const std::vector<uint32_t>& rows,
+                           const std::vector<int>& feature_subset,
+                           const std::vector<double>& grad,
+                           const std::vector<double>& hess);
+
+  core::TrainParams params_;
+  ThreadPool* pool_;
+};
+
+}  // namespace baselines
+}  // namespace joinboost

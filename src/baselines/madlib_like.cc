@@ -1,0 +1,124 @@
+#include "baselines/madlib_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace joinboost {
+namespace baselines {
+
+namespace {
+
+struct NodeTask {
+  int node;
+  int depth;
+  std::vector<uint32_t> rows;
+};
+
+}  // namespace
+
+core::Ensemble TrainMadlibLikeTree(const DenseDataset& data,
+                                   const core::TrainParams& params) {
+  core::TreeModel tree;
+  tree.nodes.push_back(core::TreeNode{});
+
+  std::vector<NodeTask> queue;
+  {
+    NodeTask root;
+    root.node = 0;
+    root.depth = 0;
+    root.rows.resize(data.num_rows);
+    std::iota(root.rows.begin(), root.rows.end(), 0);
+    queue.push_back(std::move(root));
+  }
+
+  int num_leaves = 1;
+  while (!queue.empty()) {
+    NodeTask task = std::move(queue.back());
+    queue.pop_back();
+
+    double total_s = 0;
+    for (uint32_t r : task.rows) total_s += data.y[r];
+    double total_c = static_cast<double>(task.rows.size());
+
+    bool depth_ok = params.max_depth < 0 || task.depth < params.max_depth;
+    bool can_split = num_leaves < params.num_leaves && depth_ok &&
+                     task.rows.size() >= 2 * params.min_data_in_leaf;
+
+    double best_gain = 1e-12;
+    int best_f = -1;
+    double best_thr = 0;
+    if (can_split) {
+      // Exact greedy: sort the node's rows by every feature, every time —
+      // no binning, no reuse; this is the cost MADLib-style trainers pay.
+      std::vector<uint32_t> order(task.rows);
+      for (size_t f = 0; f < data.features.size(); ++f) {
+        const auto& col = data.features[f];
+        std::sort(order.begin(), order.end(),
+                  [&](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+        double cum_s = 0, cum_c = 0;
+        for (size_t i = 0; i + 1 < order.size(); ++i) {
+          cum_s += data.y[order[i]];
+          cum_c += 1;
+          if (col[order[i]] == col[order[i + 1]]) continue;
+          if (cum_c < params.min_data_in_leaf ||
+              total_c - cum_c < params.min_data_in_leaf) {
+            continue;
+          }
+          double gain = 0.5 * ((cum_s / cum_c) * cum_s +
+                               ((total_s - cum_s) / (total_c - cum_c)) *
+                                   (total_s - cum_s) -
+                               (total_s / total_c) * total_s);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_f = static_cast<int>(f);
+            best_thr = col[order[i]];
+          }
+        }
+      }
+    }
+
+    if (best_f < 0) {
+      auto& node = tree.nodes[static_cast<size_t>(task.node)];
+      node.is_leaf = true;
+      node.prediction = total_c > 0 ? total_s / total_c : 0;
+      node.count = total_c;
+      node.sum = total_s;
+      continue;
+    }
+
+    auto& parent = tree.nodes[static_cast<size_t>(task.node)];
+    parent.is_leaf = false;
+    parent.feature = data.feature_names[static_cast<size_t>(best_f)];
+    parent.relation = best_f;
+    parent.threshold = best_thr;
+    parent.gain = best_gain;
+    int li = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(core::TreeNode{});
+    int ri = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(core::TreeNode{});
+    tree.nodes[static_cast<size_t>(task.node)].left = li;
+    tree.nodes[static_cast<size_t>(task.node)].right = ri;
+
+    NodeTask left, right;
+    left.node = li;
+    right.node = ri;
+    left.depth = right.depth = task.depth + 1;
+    const auto& col = data.features[static_cast<size_t>(best_f)];
+    for (uint32_t r : task.rows) {
+      (col[r] <= best_thr ? left.rows : right.rows).push_back(r);
+    }
+    ++num_leaves;
+    queue.push_back(std::move(left));
+    queue.push_back(std::move(right));
+  }
+
+  core::Ensemble model;
+  model.base_score = 0;
+  model.average = false;
+  model.trees.push_back(std::move(tree));
+  return model;
+}
+
+}  // namespace baselines
+}  // namespace joinboost

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "baselines/dense_dataset.h"
+#include "core/model.h"
+#include "core/params.h"
+
+namespace joinboost {
+namespace baselines {
+
+/// MADLib-style non-factorized decision tree: exact greedy over the
+/// materialized join, re-sorting every feature at every node with no
+/// histograms and no work sharing — the row-at-a-time recursive
+/// partitioning cost profile the paper compares against in Figure 16b.
+core::Ensemble TrainMadlibLikeTree(const DenseDataset& data,
+                                   const core::TrainParams& params);
+
+}  // namespace baselines
+}  // namespace joinboost

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/session.h"
+#include "core/trainer.h"
+
+namespace joinboost {
+namespace core {
+
+/// Factorized gradient boosting (§4): trains each tree on the residuals of
+/// the preceding trees without materializing R⋈, using the
+/// addition-to-multiplication-preserving residual update for rmse (semi-join
+/// selectors + one of the §5.3/§5.4 update strategies), or the general
+/// gradient/hessian columns for other objectives on snowflake schemas.
+class GradientBoosting {
+ public:
+  GradientBoosting(Session* session, TrainParams params);
+
+  Ensemble Train();
+
+  /// Apply one tree's residual update (exposed for benchmarking the update
+  /// strategies in isolation — Figures 5 and 15).
+  void UpdateResiduals(Session& session, const GrowthResult& grown,
+                       int fact_rel);
+
+  /// Per-leaf fact-table condition SQL (semi-join selectors, §5.3.1).
+  static std::string LeafConditionSql(Session& session, int fact_rel,
+                                      const factor::PredicateSet& preds);
+
+ private:
+  void UpdateResidualSemiring(Session& session, const GrowthResult& grown,
+                              int fact_rel, const std::string& strategy);
+  void UpdateGeneral(Session& session, const GrowthResult& grown,
+                     int fact_rel, const std::string& strategy);
+
+  Session* session_;
+  TrainParams params_;
+};
+
+/// Resolve "auto" to a concrete update strategy given the engine profile.
+std::string ResolveUpdateStrategy(const std::string& requested,
+                                  const EngineProfile& profile);
+
+}  // namespace core
+}  // namespace joinboost

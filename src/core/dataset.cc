@@ -1,0 +1,75 @@
+#include "core/dataset.h"
+
+#include "util/check.h"
+
+namespace joinboost {
+
+void Dataset::AddTable(const std::string& table,
+                       std::vector<std::string> features,
+                       const std::string& y_column) {
+  graph_.AddRelation(table, std::move(features), y_column);
+  prepared_ = false;
+}
+
+void Dataset::AddJoin(const std::string& t1, const std::string& t2,
+                      std::vector<std::string> keys) {
+  graph_.AddEdge(t1, t2, std::move(keys));
+  prepared_ = false;
+}
+
+void Dataset::SetRowId(const std::string& table, const std::string& column) {
+  int rel = graph_.RelationIndex(table);
+  JB_CHECK_MSG(rel >= 0, "unknown table " << table);
+  row_ids_[rel] = column;
+}
+
+std::string Dataset::RowIdColumn(int rel) const {
+  auto it = row_ids_.find(rel);
+  return it == row_ids_.end() ? "" : it->second;
+}
+
+void Dataset::Prepare() {
+  if (prepared_) return;
+  JB_CHECK_MSG(graph_.num_relations() > 0, "empty dataset");
+  JB_CHECK_MSG(graph_.IsTree(),
+               "the join graph must be acyclic and connected (a tree); "
+               "apply hypertree decomposition / pre-join cycles first");
+
+  // Validate columns and collect cardinalities.
+  for (size_t i = 0; i < graph_.num_relations(); ++i) {
+    auto& rel = graph_.relation(static_cast<int>(i));
+    TablePtr table = db_->catalog().Get(rel.name);
+    rel.num_rows = table->num_rows();
+    for (const auto& f : rel.features) {
+      JB_CHECK_MSG(table->schema().HasField(f),
+                   "feature " << f << " missing from " << rel.name);
+    }
+    if (!rel.y_column.empty()) {
+      JB_CHECK_MSG(table->schema().HasField(rel.y_column),
+                   "target " << rel.y_column << " missing from " << rel.name);
+    }
+  }
+
+  // Edge-key uniqueness on each side, via SQL (COUNT DISTINCT == COUNT).
+  for (size_t e = 0; e < graph_.edges().size(); ++e) {
+    auto& edge = graph_.edge(static_cast<int>(e));
+    auto unique_side = [&](int rel_id) {
+      const auto& rel = graph_.relation(rel_id);
+      std::string keys;
+      for (size_t k = 0; k < edge.keys.size(); ++k) {
+        if (k) keys += ", ";
+        keys += edge.keys[k];
+      }
+      double distinct = db_->QueryScalarDouble(
+          "SELECT COUNT(*) AS c FROM (SELECT DISTINCT " + keys + " FROM " +
+              rel.name + ")",
+          "setup");
+      return distinct == static_cast<double>(rel.num_rows);
+    };
+    edge.unique_a = unique_side(edge.a);
+    edge.unique_b = unique_side(edge.b);
+  }
+  prepared_ = true;
+}
+
+}  // namespace joinboost

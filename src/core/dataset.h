@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "graph/join_graph.h"
+
+namespace joinboost {
+
+/// The user-facing training dataset (paper Figure 4): a join graph over
+/// tables registered in a Database, with features X and target Y declared
+/// per table. Mirrors joinboost.join_graph() / add_node / add_edge.
+class Dataset {
+ public:
+  explicit Dataset(exec::Database* db) : db_(db) {}
+
+  /// Declare a participating table with its feature columns and optional Y.
+  void AddTable(const std::string& table, std::vector<std::string> features,
+                const std::string& y_column = "");
+
+  /// Natural-join edge over shared key columns.
+  void AddJoin(const std::string& t1, const std::string& t2,
+               std::vector<std::string> keys);
+
+  /// Optional: a unique row-id column of `table`, used for random-forest
+  /// fact sampling. When absent, a row id is synthesized during lifting.
+  void SetRowId(const std::string& table, const std::string& column);
+
+  /// Validate tables/columns, measure cardinalities and edge-key uniqueness
+  /// (drives N-to-1 detection, identity messages and CPT clusters). Called
+  /// automatically by Train(); idempotent.
+  void Prepare();
+  bool prepared() const { return prepared_; }
+
+  exec::Database* db() const { return db_; }
+  graph::JoinGraph& graph() { return graph_; }
+  const graph::JoinGraph& graph() const { return graph_; }
+
+  /// Row-id column declared for relation `rel`, or "" when none.
+  std::string RowIdColumn(int rel) const;
+
+ private:
+  exec::Database* db_;
+  graph::JoinGraph graph_;
+  std::map<int, std::string> row_ids_;
+  bool prepared_ = false;
+};
+
+}  // namespace joinboost

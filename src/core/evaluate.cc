@@ -1,0 +1,141 @@
+#include "core/evaluate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace core {
+
+class JoinedEval::Row : public RowView {
+ public:
+  Row(const JoinedEval* ev, size_t row) : ev_(ev), row_(row) {}
+
+  double GetNumeric(const std::string& feature) const override {
+    int idx = Lookup(feature);
+    return ev_->table_->cols[static_cast<size_t>(idx)].data.GetValue(row_)
+        .AsDouble();
+  }
+  int64_t GetCategory(const std::string& feature) const override {
+    int idx = Lookup(feature);
+    const auto& v = ev_->table_->cols[static_cast<size_t>(idx)].data;
+    return (*v.ints)[row_];
+  }
+
+ private:
+  int Lookup(const std::string& feature) const {
+    auto it = ev_->col_idx_.find(feature);
+    JB_CHECK_MSG(it != ev_->col_idx_.end(),
+                 "feature " << feature << " absent from evaluation join");
+    return it->second;
+  }
+  const JoinedEval* ev_;
+  size_t row_;
+};
+
+JoinedEval::JoinedEval(std::shared_ptr<exec::ExecTable> table,
+                       std::string y_col)
+    : table_(std::move(table)), y_col_(std::move(y_col)) {
+  for (size_t i = 0; i < table_->cols.size(); ++i) {
+    col_idx_.emplace(table_->cols[i].name, static_cast<int>(i));
+  }
+  auto it = col_idx_.find(y_col_);
+  JB_CHECK_MSG(it != col_idx_.end(), "Y column missing from join");
+  y_idx_ = it->second;
+}
+
+double JoinedEval::Predict(const Ensemble& model, size_t row) const {
+  Row r(this, row);
+  return model.Predict(r);
+}
+
+double JoinedEval::YValue(size_t row) const {
+  return table_->cols[static_cast<size_t>(y_idx_)].data.GetValue(row)
+      .AsDouble();
+}
+
+double JoinedEval::Rmse(const Ensemble& model) const {
+  double se = 0;
+  for (size_t i = 0; i < rows(); ++i) {
+    double d = Predict(model, i) - YValue(i);
+    se += d * d;
+  }
+  return rows() == 0 ? 0 : std::sqrt(se / static_cast<double>(rows()));
+}
+
+std::vector<double> JoinedEval::RmseCurve(const Ensemble& model) const {
+  std::vector<double> sums(model.trees.size() + 1, 0.0);
+  std::vector<double> acc(rows(), 0.0);
+  // iteration 0 = base score only.
+  for (size_t i = 0; i < rows(); ++i) {
+    double d = model.base_score - YValue(i);
+    sums[0] += d * d;
+  }
+  for (size_t t = 0; t < model.trees.size(); ++t) {
+    for (size_t i = 0; i < rows(); ++i) {
+      Row r(this, i);
+      acc[i] += model.trees[t].Predict(r);
+      double pred = model.base_score +
+                    (model.average ? acc[i] / static_cast<double>(t + 1)
+                                   : acc[i]);
+      double d = pred - YValue(i);
+      sums[t + 1] += d * d;
+    }
+  }
+  for (auto& s : sums) {
+    s = rows() == 0 ? 0 : std::sqrt(s / static_cast<double>(rows()));
+  }
+  return sums;
+}
+
+std::string FullJoinSql(const Dataset& data) {
+  const graph::JoinGraph& g = data.graph();
+  JB_CHECK(g.num_relations() > 0);
+  graph::JoinGraph::Directed dir = g.DirectTowards(0);
+
+  std::ostringstream select;
+  select << "SELECT ";
+  bool first = true;
+  for (size_t r = 0; r < g.num_relations(); ++r) {
+    const auto& rel = g.relation(static_cast<int>(r));
+    for (const auto& f : rel.features) {
+      if (!first) select << ", ";
+      first = false;
+      select << rel.name << "." << f << " AS " << f;
+    }
+    if (!rel.y_column.empty()) {
+      if (!first) select << ", ";
+      first = false;
+      select << rel.name << "." << rel.y_column << " AS jb_y";
+    }
+  }
+
+  // Join order: reverse of the leaves-first order (root first).
+  std::ostringstream from;
+  from << " FROM " << g.relation(dir.order.back()).name;
+  for (size_t i = dir.order.size(); i-- > 1;) {
+    // dir.order is leaves-first; walk root->leaves adding each child joined
+    // to its parent.
+    int child = dir.order[i - 1];
+    int pe = dir.parent_edge[static_cast<size_t>(child)];
+    int parent = dir.parent[static_cast<size_t>(child)];
+    const graph::Edge& e = g.edges()[static_cast<size_t>(pe)];
+    from << " JOIN " << g.relation(child).name << " ON ";
+    for (size_t k = 0; k < e.keys.size(); ++k) {
+      if (k) from << " AND ";
+      from << g.relation(parent).name << "." << e.keys[k] << " = "
+           << g.relation(child).name << "." << e.keys[k];
+    }
+  }
+  return select.str() + from.str();
+}
+
+JoinedEval MaterializeJoin(Dataset& data, const std::string& tag) {
+  std::string sql = FullJoinSql(data);
+  auto table = data.db()->Query(sql, tag);
+  return JoinedEval(table, "jb_y");
+}
+
+}  // namespace core
+}  // namespace joinboost

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/model.h"
+#include "exec/vector.h"
+
+namespace joinboost {
+namespace core {
+
+/// A materialized join result wrapped for model evaluation. Used by tests
+/// and benches (the trainers themselves never materialize R⋈ — that is the
+/// whole point of the paper).
+class JoinedEval {
+ public:
+  JoinedEval(std::shared_ptr<exec::ExecTable> table, std::string y_col);
+
+  size_t rows() const { return table_->rows; }
+
+  /// Root-mean-square error of the full ensemble against Y.
+  double Rmse(const Ensemble& model) const;
+
+  /// RMSE after each boosting iteration (Figure 8c learning curves),
+  /// computed incrementally in one pass over the trees.
+  std::vector<double> RmseCurve(const Ensemble& model) const;
+
+  /// Evaluate a single row.
+  double Predict(const Ensemble& model, size_t row) const;
+  double YValue(size_t row) const;
+
+  const exec::ExecTable& table() const { return *table_; }
+
+ private:
+  class Row;
+  std::shared_ptr<exec::ExecTable> table_;
+  std::string y_col_;
+  int y_idx_ = -1;
+  std::unordered_map<std::string, int> col_idx_;
+};
+
+/// SQL that joins every relation of the dataset and projects all features
+/// plus Y (aliased "jb_y"). This is what ML libraries force you to
+/// materialize and export (the paper's "Join+Export" cost).
+std::string FullJoinSql(const Dataset& data);
+
+/// Materialize the join and wrap it for evaluation. `tag` labels the query.
+JoinedEval MaterializeJoin(Dataset& data, const std::string& tag = "export");
+
+}  // namespace core
+}  // namespace joinboost

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/model.h"
+#include "core/session.h"
+#include "core/trainer.h"
+
+namespace joinboost {
+namespace core {
+
+/// Single factorized decision tree (Algorithm 1 over the join graph).
+class DecisionTree {
+ public:
+  DecisionTree(Session* session, TrainParams params);
+  Ensemble Train();
+
+ private:
+  Session* session_;
+  TrainParams params_;
+};
+
+/// Factorized random forest (§5.5.2): trees train on fact-table samples
+/// (snowflake optimization — the fact is sampled directly via deterministic
+/// hashing in SQL) and random feature subsets; predictions average.
+/// Trees run concurrently under inter-query parallelism.
+class RandomForest {
+ public:
+  RandomForest(Session* session, TrainParams params);
+  Ensemble Train();
+
+ private:
+  TreeModel TrainOneTree(int tree_index);
+
+  Session* session_;
+  TrainParams params_;
+};
+
+}  // namespace core
+}  // namespace joinboost

@@ -1,0 +1,105 @@
+#include "core/model.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace core {
+
+size_t TreeModel::NumLeaves() const {
+  size_t n = 0;
+  for (const auto& node : nodes) n += node.is_leaf ? 1 : 0;
+  return n;
+}
+
+size_t TreeModel::MaxDepth() const {
+  if (nodes.empty()) return 0;
+  // BFS carrying depths.
+  std::vector<std::pair<int, size_t>> stack = {{0, 1}};
+  size_t best = 0;
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes[static_cast<size_t>(i)];
+    if (n.is_leaf) {
+      best = std::max(best, d);
+    } else {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return best;
+}
+
+double TreeModel::Predict(const RowView& row) const {
+  JB_CHECK(!nodes.empty());
+  int i = 0;
+  for (;;) {
+    const TreeNode& n = nodes[static_cast<size_t>(i)];
+    if (n.is_leaf) return n.prediction;
+    bool go_left;
+    if (n.categorical) {
+      go_left = row.GetCategory(n.feature) == n.category;
+    } else {
+      go_left = row.GetNumeric(n.feature) <= n.threshold;
+    }
+    i = go_left ? n.left : n.right;
+  }
+}
+
+void TreeModel::AccumulateImportance(
+    std::function<void(const std::string&, double)> add) const {
+  for (const auto& n : nodes) {
+    if (!n.is_leaf) add(n.feature, n.gain);
+  }
+}
+
+std::string TreeModel::ToString() const {
+  std::ostringstream os;
+  std::function<void(int, int)> rec = [&](int i, int depth) {
+    const TreeNode& n = nodes[static_cast<size_t>(i)];
+    for (int d = 0; d < depth; ++d) os << "  ";
+    if (n.is_leaf) {
+      os << "leaf pred=" << n.prediction << " n=" << n.count << "\n";
+      return;
+    }
+    os << n.feature;
+    if (n.categorical) {
+      os << " = " << (n.category_str.empty() ? std::to_string(n.category)
+                                             : n.category_str);
+    } else {
+      os << " <= " << n.threshold;
+    }
+    os << " (gain " << n.gain << ")\n";
+    rec(n.left, depth + 1);
+    rec(n.right, depth + 1);
+  };
+  if (!nodes.empty()) rec(0, 0);
+  return os.str();
+}
+
+double Ensemble::Predict(const RowView& row) const {
+  return PredictPrefix(row, trees.size());
+}
+
+double Ensemble::PredictPrefix(const RowView& row, size_t k) const {
+  k = std::min(k, trees.size());
+  double acc = 0;
+  for (size_t i = 0; i < k; ++i) acc += trees[i].Predict(row);
+  if (average && k > 0) acc /= static_cast<double>(k);
+  return base_score + acc;
+}
+
+std::string Ensemble::ToString() const {
+  std::ostringstream os;
+  os << (average ? "random_forest" : "gbdt") << " base=" << base_score
+     << " trees=" << trees.size() << "\n";
+  for (size_t i = 0; i < trees.size(); ++i) {
+    os << "--- tree " << i << " ---\n" << trees[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace joinboost

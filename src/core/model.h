@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace joinboost {
+namespace core {
+
+/// One node of a trained tree. Numeric splits are `feature <= threshold`
+/// (left) vs `>` (right); categorical splits are `feature = category` (left)
+/// vs `<>` (right) — exactly the predicate forms of §3.2.
+struct TreeNode {
+  bool is_leaf = true;
+
+  // Split (internal nodes).
+  std::string feature;
+  int relation = -1;       ///< join-graph relation offering the feature
+  bool categorical = false;
+  double threshold = 0;    ///< numeric split point
+  int64_t category = 0;    ///< dictionary code for categorical splits
+  std::string category_str;
+  double gain = 0;
+
+  int left = -1;
+  int right = -1;
+
+  // Leaf payload.
+  double prediction = 0;   ///< leaf value (already shrunk for boosting)
+  double count = 0;        ///< C (or H) at this node
+  double sum = 0;          ///< S (or G) at this node
+};
+
+/// Accessor for one example row during prediction.
+class RowView {
+ public:
+  virtual ~RowView() = default;
+  virtual double GetNumeric(const std::string& feature) const = 0;
+  virtual int64_t GetCategory(const std::string& feature) const = 0;
+};
+
+/// A single decision tree.
+class TreeModel {
+ public:
+  std::vector<TreeNode> nodes;  ///< nodes[0] is the root
+
+  bool empty() const { return nodes.empty(); }
+  size_t NumLeaves() const;
+  size_t MaxDepth() const;
+
+  double Predict(const RowView& row) const;
+
+  /// Per-feature total gain (split importance).
+  void AccumulateImportance(
+      std::function<void(const std::string&, double)> add) const;
+
+  std::string ToString() const;
+};
+
+/// Ensemble of trees: gradient boosting (sum) or random forest (average).
+class Ensemble {
+ public:
+  double base_score = 0;
+  bool average = false;  ///< true for random forests
+  std::vector<TreeModel> trees;
+
+  double Predict(const RowView& row) const;
+
+  /// Prediction using only the first `k` trees (learning curves).
+  double PredictPrefix(const RowView& row, size_t k) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace core
+}  // namespace joinboost

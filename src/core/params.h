@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace joinboost {
+namespace core {
+
+/// Training parameters. Names and defaults mirror LightGBM's where they
+/// exist (paper §5.1: "JoinBoost accepts the same training parameters as
+/// LightGBM").
+struct TrainParams {
+  /// Objective: "regression"/"rmse", "mae", "huber", "fair", "poisson",
+  /// "quantile", "mape", "gamma", "tweedie".
+  std::string objective = "regression";
+  double objective_param = 0.0;  ///< δ for huber, c for fair, α for quantile…
+
+  /// Boosting type: "gbdt", "rf" (random forest), or "dt" (single tree).
+  std::string boosting = "gbdt";
+
+  int num_iterations = 100;
+  double learning_rate = 0.1;
+  int num_leaves = 8;
+  int max_depth = -1;  ///< -1 = unlimited
+
+  double lambda_l2 = 0.0;    ///< λ in the leaf/gain formulas (Appendix B.2)
+  double min_gain = 0.0;     ///< α: minimum gain to split
+  double min_data_in_leaf = 1.0;
+
+  /// Growth policy: best-first (leaf-wise, LightGBM default) or depth-wise.
+  std::string growth = "best_first";
+
+  // Random forest sampling (paper defaults: 10% rows, 80% features).
+  double bagging_fraction = 0.1;
+  double feature_fraction = 0.8;
+  uint64_t seed = 42;
+
+  /// Residual-update strategy (§5.3/§5.4): "naive_u", "update", "create",
+  /// "swap" (column swap; default), or "auto" (swap if the engine allows it,
+  /// else create).
+  std::string update_strategy = "auto";
+
+  /// Inter-query parallelism (§5.5.3): run independent split queries and
+  /// forest trees concurrently.
+  bool inter_query_parallelism = false;
+
+  /// Trainer variant (Fig 16a): "factorized" (JoinBoost), "batch" (per-node
+  /// batches, no cross-node message caching — the LMFAO proxy), or "naive"
+  /// (materialize the join, no factorization).
+  std::string variant = "factorized";
+
+  /// Track the q component (exact variance reporting; the criterion only
+  /// needs c and s — §5.3.1).
+  bool track_q = false;
+
+  /// Histogram binning (Appendix D.3): 0 disables; otherwise features are
+  /// bucketed into this many bins and training runs over the cuboid.
+  int max_bin = 0;
+};
+
+}  // namespace core
+}  // namespace joinboost

@@ -1,0 +1,64 @@
+#include "core/split.h"
+
+#include <sstream>
+
+#include "semiring/sql_gen.h"
+
+namespace joinboost {
+namespace core {
+
+std::string CriterionSql(const CriterionParams& p) {
+  using semiring::SqlDouble;
+  std::string S = SqlDouble(p.s_total);
+  std::string C = SqlDouble(p.c_total);
+  std::string lam = SqlDouble(p.lambda);
+  std::ostringstream os;
+  if (p.halved) os << "0.5 * (";
+  os << "(s / (c + " << lam << ")) * s"
+     << " + ((" << S << " - s) / (" << C << " - c + " << lam << ")) * (" << S
+     << " - s)"
+     << " - (" << S << " / (" << C << " + " << lam << ")) * " << S;
+  if (p.halved) os << ")";
+  return os.str();
+}
+
+namespace {
+
+std::string BoundsPredicate(const CriterionParams& p) {
+  using semiring::SqlDouble;
+  std::ostringstream os;
+  os << "c >= " << SqlDouble(p.min_leaf) << " AND c <= "
+     << SqlDouble(p.c_total - p.min_leaf);
+  return os.str();
+}
+
+}  // namespace
+
+std::string NumericBestSplitSql(const std::string& attr,
+                                const factor::Factorizer::AbsorptionParts& abs,
+                                const CriterionParams& p) {
+  std::ostringstream os;
+  os << "SELECT val, c, s, " << CriterionSql(p) << " AS criteria FROM ("
+     << "SELECT val, SUM(c) OVER (ORDER BY val) AS c, "
+     << "SUM(s) OVER (ORDER BY val) AS s FROM ("
+     << "SELECT " << attr << " AS val, SUM(" << abs.c_expr << ") AS c, SUM("
+     << abs.s_expr << ") AS s " << abs.from_where << " GROUP BY " << attr
+     << ")) WHERE " << BoundsPredicate(p)
+     << " ORDER BY criteria DESC LIMIT 1";
+  return os.str();
+}
+
+std::string CategoricalBestSplitSql(
+    const std::string& attr, const factor::Factorizer::AbsorptionParts& abs,
+    const CriterionParams& p) {
+  std::ostringstream os;
+  os << "SELECT val, c, s, " << CriterionSql(p) << " AS criteria FROM ("
+     << "SELECT " << attr << " AS val, SUM(" << abs.c_expr << ") AS c, SUM("
+     << abs.s_expr << ") AS s " << abs.from_where << " GROUP BY " << attr
+     << ") WHERE " << BoundsPredicate(p)
+     << " ORDER BY criteria DESC LIMIT 1";
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace joinboost

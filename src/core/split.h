@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "factor/message_passing.h"
+
+namespace joinboost {
+namespace core {
+
+/// A candidate split returned by the best-split SQL of one feature.
+struct SplitCandidate {
+  bool valid = false;
+  std::string feature;
+  int relation = -1;
+  bool categorical = false;
+  double threshold = 0;
+  int64_t category = 0;
+  std::string category_str;
+  double gain = 0;
+  double c_left = 0;  ///< C (or H) of the selected side σ
+  double s_left = 0;  ///< S (or G) of the selected side σ
+};
+
+/// Constants of the node being split, baked into the criterion SQL just as
+/// the paper substitutes {$stotal}/{$ctotal} (Example 2).
+struct CriterionParams {
+  double c_total = 0;
+  double s_total = 0;
+  double lambda = 0;         ///< L2 regularization λ
+  double min_leaf = 1;       ///< min C on each side
+  bool halved = false;       ///< 0.5 factor of the boosting gain
+};
+
+/// Criterion expression over columns `c`/`s` of the aggregated subquery:
+///   [0.5·]((s/(c+λ))·s + ((S−s)/(C−c+λ))·(S−s) − (S/(C+λ))·S)
+/// computed as (s/c)*s to avoid overflow (Appendix A).
+std::string CriterionSql(const CriterionParams& p);
+
+/// Complete best-split query for a numeric feature (Example 2 shape):
+/// group-by → window prefix sums → criterion → ORDER BY criteria DESC LIMIT 1.
+std::string NumericBestSplitSql(const std::string& attr,
+                                const factor::Factorizer::AbsorptionParts& abs,
+                                const CriterionParams& p);
+
+/// Best-split query for a categorical feature (equality split, no window).
+std::string CategoricalBestSplitSql(
+    const std::string& attr, const factor::Factorizer::AbsorptionParts& abs,
+    const CriterionParams& p);
+
+}  // namespace core
+}  // namespace joinboost

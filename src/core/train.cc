@@ -1,0 +1,74 @@
+#include "core/train.h"
+
+#include "core/boosting.h"
+#include "core/evaluate.h"
+#include "core/forest.h"
+#include "core/session.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace joinboost {
+
+namespace {
+
+/// The non-factorized variant: materialize the join into a wide table and
+/// train over it as a single-relation "join graph" (Figure 16a "Naive").
+TrainResult TrainNaive(const core::TrainParams& params, Dataset& dataset) {
+  exec::Database& db = *dataset.db();
+  std::string wide = "jbnaive_wide";
+  db.catalog().DropIfExists(wide);
+  db.Execute("CREATE TABLE " + wide + " AS " + core::FullJoinSql(dataset),
+             "materialize");
+
+  Dataset naive_ds(&db);
+  std::vector<std::string> features = dataset.graph().AllFeatures();
+  naive_ds.AddTable(wide, features, "jb_y");
+
+  core::TrainParams inner = params;
+  inner.variant = "factorized";  // single relation: no factorization happens
+  TrainResult res = Train(inner, naive_ds);
+  db.catalog().DropIfExists(wide);
+  return res;
+}
+
+}  // namespace
+
+TrainResult Train(const core::TrainParams& params, Dataset& dataset) {
+  if (params.variant == "naive") return TrainNaive(params, dataset);
+
+  exec::Database& db = *dataset.db();
+  double update0 = db.TotalMsForTag("update");
+  double message0 = db.TotalMsForTag("message");
+  double feature0 = db.TotalMsForTag("feature");
+  size_t nmsg0 = db.CountForTag("message");
+  size_t nfeat0 = db.CountForTag("feature");
+
+  Timer timer;
+  core::Session session(&dataset, params);
+  session.Prepare();
+
+  TrainResult res;
+  if (params.boosting == "gbdt") {
+    core::GradientBoosting gb(&session, params);
+    res.model = gb.Train();
+  } else if (params.boosting == "rf") {
+    core::RandomForest rf(&session, params);
+    res.model = rf.Train();
+  } else if (params.boosting == "dt") {
+    core::DecisionTree dt(&session, params);
+    res.model = dt.Train();
+  } else {
+    JB_THROW("unknown boosting type " << params.boosting);
+  }
+  res.seconds = timer.Seconds();
+  res.update_seconds = (db.TotalMsForTag("update") - update0) / 1e3;
+  res.message_seconds = (db.TotalMsForTag("message") - message0) / 1e3;
+  res.feature_seconds = (db.TotalMsForTag("feature") - feature0) / 1e3;
+  res.message_queries = db.CountForTag("message") - nmsg0;
+  res.feature_queries = db.CountForTag("feature") - nfeat0;
+  res.cache_hits = session.fac().cache_hits();
+  res.cache_misses = session.fac().cache_misses();
+  return res;
+}
+
+}  // namespace joinboost

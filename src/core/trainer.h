@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/params.h"
+#include "core/split.h"
+#include "factor/message_passing.h"
+
+namespace joinboost {
+namespace core {
+
+/// Output of growing one tree: the model plus the per-leaf predicate sets
+/// and aggregates that residual updates need (§4, §5.3).
+struct GrowthResult {
+  TreeModel tree;
+  struct LeafInfo {
+    int node = 0;
+    factor::PredicateSet preds;
+    double c = 0;          ///< C (or H) in the leaf
+    double s = 0;          ///< S (or G) in the leaf
+    double raw_value = 0;  ///< unshrunk leaf value s/(c+λ)
+  };
+  std::vector<LeafInfo> leaves;
+  int first_split_relation = -1;  ///< drives CPT cluster selection (§4.2.2)
+};
+
+/// Algorithm 1: grows one decision tree by repeatedly invoking the
+/// best-split SQL per feature via the factorizer. Growth is best-first
+/// (priority queue on criterion reduction) or depth-wise.
+class TreeGrower {
+ public:
+  TreeGrower(factor::Factorizer* fac, const TrainParams& params);
+
+  /// Grow a tree over `features`. `agg_root` is the relation used for total
+  /// aggregates (Y's relation or the cluster fact). When `clusters` is
+  /// non-null, splits after the first are confined to the first split's
+  /// cluster — the Clustered Predicate Tree policy.
+  GrowthResult Grow(const std::vector<std::string>& features, int agg_root,
+                    const std::vector<int>* clusters);
+
+  /// Number of best-split queries issued so far (Fig 9 instrumentation).
+  size_t split_queries() const { return split_queries_; }
+
+ private:
+  struct LeafState {
+    int node = 0;
+    int depth = 0;
+    factor::PredicateSet preds;
+    double c = 0, s = 0;
+    SplitCandidate best;
+    bool evaluated = false;
+  };
+
+  SplitCandidate BestSplit(const LeafState& leaf,
+                           const std::vector<std::string>& features,
+                           const std::vector<int>* allowed);
+  bool IsCategorical(int rel, const std::string& feature) const;
+
+  factor::Factorizer* fac_;
+  TrainParams params_;
+  size_t split_queries_ = 0;
+};
+
+}  // namespace core
+}  // namespace joinboost

@@ -1,0 +1,379 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace joinboost {
+namespace data {
+
+namespace {
+
+/// Imputed feature per the paper's preprocessing: random ints U[1, 1000].
+std::vector<double> ImputedFeature(Rng* rng, size_t n) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = static_cast<double>(rng->NextInt(1, 1000));
+  return out;
+}
+
+std::vector<int64_t> SequentialKeys(size_t n) {
+  std::vector<int64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<int64_t>(i);
+  return out;
+}
+
+/// Add `count` extra random feature columns named <prefix>0.. to a builder.
+void AddExtraFeatures(TableBuilder* builder, Rng* rng, const std::string& prefix,
+                      int count, size_t rows,
+                      std::vector<std::string>* names) {
+  for (int i = 0; i < count; ++i) {
+    std::string name = prefix + std::to_string(i);
+    builder->AddDoubles(name, ImputedFeature(rng, rows));
+    names->push_back(name);
+  }
+}
+
+}  // namespace
+
+Dataset MakeFavorita(exec::Database* db, const FavoritaConfig& config) {
+  Rng rng(config.seed);
+  const size_t n = config.sales_rows;
+  const size_t items_n = config.num_items;
+  const size_t stores_n = config.num_stores;
+  const size_t dates_n = config.num_dates;
+
+  // Dimensions with their signal features.
+  std::vector<double> f_item = ImputedFeature(&rng, items_n);
+  std::vector<double> f_store = ImputedFeature(&rng, stores_n);
+  std::vector<double> f_date = ImputedFeature(&rng, dates_n);
+  std::vector<double> f_oil = ImputedFeature(&rng, dates_n);
+
+  // Transactions is keyed by the composite (store_id, date_id).
+  std::vector<int64_t> t_store, t_date;
+  std::vector<double> f_trans;
+  t_store.reserve(stores_n * dates_n);
+  for (size_t s = 0; s < stores_n; ++s) {
+    for (size_t d = 0; d < dates_n; ++d) {
+      t_store.push_back(static_cast<int64_t>(s));
+      t_date.push_back(static_cast<int64_t>(d));
+      f_trans.push_back(static_cast<double>(rng.NextInt(1, 1000)));
+    }
+  }
+
+  // Fact rows.
+  std::vector<int64_t> s_item(n), s_store(n), s_date(n);
+  std::vector<double> onpromo(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    s_item[i] = rng.NextInt(0, static_cast<int64_t>(items_n) - 1);
+    s_store[i] = rng.NextInt(0, static_cast<int64_t>(stores_n) - 1);
+    s_date[i] = rng.NextInt(0, static_cast<int64_t>(dates_n) - 1);
+    onpromo[i] = static_cast<double>(rng.NextInt(0, 1));
+    double fi = f_item[static_cast<size_t>(s_item[i])];
+    double fs = f_store[static_cast<size_t>(s_store[i])];
+    double fd = f_date[static_cast<size_t>(s_date[i])];
+    double fo = f_oil[static_cast<size_t>(s_date[i])];
+    double ft =
+        f_trans[static_cast<size_t>(s_store[i]) * dates_n +
+                static_cast<size_t>(s_date[i])];
+    // Footnote 7 target (scaled to keep magnitudes comparable) + noise.
+    y[i] = fi * std::log(fi) / 100.0 + std::log(fo) * 50.0 - 10.0 * fd / 10.0 -
+           10.0 * fs / 10.0 + ft * ft / 1000.0 + rng.NextGaussian() * 10.0;
+  }
+
+  std::vector<std::string> sales_features = {"onpromotion"};
+  std::vector<std::string> items_features = {"f_item"};
+  std::vector<std::string> stores_features = {"f_store"};
+  std::vector<std::string> dates_features = {"f_date"};
+  std::vector<std::string> oil_features = {"f_oil"};
+  std::vector<std::string> trans_features = {"f_trans"};
+
+  TableBuilder sales("sales");
+  sales.AddInts("item_id", s_item)
+      .AddInts("store_id", s_store)
+      .AddInts("date_id", s_date)
+      .AddDoubles("onpromotion", onpromo)
+      .AddDoubles("unit_sales", y);
+  TableBuilder items("items");
+  items.AddInts("item_id", SequentialKeys(items_n)).AddDoubles("f_item", f_item);
+  TableBuilder stores("stores");
+  stores.AddInts("store_id", SequentialKeys(stores_n))
+      .AddDoubles("f_store", f_store);
+  TableBuilder dates("dates");
+  dates.AddInts("date_id", SequentialKeys(dates_n)).AddDoubles("f_date", f_date);
+  TableBuilder oil("oil");
+  oil.AddInts("date_id", SequentialKeys(dates_n)).AddDoubles("f_oil", f_oil);
+  TableBuilder trans("transactions");
+  trans.AddInts("store_id", t_store)
+      .AddInts("date_id", t_date)
+      .AddDoubles("f_trans", f_trans);
+
+  int extra = config.extra_features_per_dim;
+  if (extra > 0) {
+    AddExtraFeatures(&sales, &rng, "xs", extra, n, &sales_features);
+    AddExtraFeatures(&items, &rng, "xi", extra, items_n, &items_features);
+    AddExtraFeatures(&stores, &rng, "xst", extra, stores_n, &stores_features);
+    AddExtraFeatures(&dates, &rng, "xd", extra, dates_n, &dates_features);
+    AddExtraFeatures(&oil, &rng, "xo", extra, dates_n, &oil_features);
+    AddExtraFeatures(&trans, &rng, "xt", extra, t_store.size(),
+                     &trans_features);
+  }
+
+  db->LoadTable(sales.Build());
+  db->LoadTable(items.Build());
+  db->LoadTable(stores.Build());
+  db->LoadTable(dates.Build());
+  db->LoadTable(oil.Build());
+  db->LoadTable(trans.Build());
+
+  Dataset ds(db);
+  ds.AddTable("sales", sales_features, "unit_sales");
+  ds.AddTable("items", items_features);
+  ds.AddTable("stores", stores_features);
+  ds.AddTable("dates", dates_features);
+  ds.AddTable("oil", oil_features);
+  ds.AddTable("transactions", trans_features);
+  ds.AddJoin("sales", "items", {"item_id"});
+  ds.AddJoin("sales", "stores", {"store_id"});
+  ds.AddJoin("sales", "dates", {"date_id"});
+  ds.AddJoin("sales", "oil", {"date_id"});
+  ds.AddJoin("sales", "transactions", {"store_id", "date_id"});
+  return ds;
+}
+
+Dataset MakeTpcds(exec::Database* db, const TpcdsConfig& config) {
+  Rng rng(config.seed);
+  size_t n = static_cast<size_t>(config.scale_factor *
+                                 static_cast<double>(config.base_fact_rows));
+  struct Dim {
+    std::string name;
+    std::string key;
+    size_t rows;
+  };
+  std::vector<Dim> dims = {
+      {"date_dim", "date_sk", 365},
+      {"store", "store_sk", 100},
+      {"item", "item_sk", 3000},
+      {"customer", "customer_sk",
+       std::max<size_t>(1000, n / 20)},
+      {"household", "hdemo_sk", 720},
+  };
+  // Spread feature columns round-robin across dimensions.
+  int per_dim = std::max(1, config.num_features / static_cast<int>(dims.size()));
+
+  std::vector<std::vector<double>> signal(dims.size());
+  Dataset ds(db);
+  std::vector<std::vector<int64_t>> fact_keys(dims.size());
+  for (auto& fk : fact_keys) fk.resize(n);
+  std::vector<double> y(n, 0.0);
+
+  for (size_t d = 0; d < dims.size(); ++d) {
+    signal[d] = ImputedFeature(&rng, dims[d].rows);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      fact_keys[d][i] =
+          rng.NextInt(0, static_cast<int64_t>(dims[d].rows) - 1);
+      double f = signal[d][static_cast<size_t>(fact_keys[d][i])];
+      y[i] += (d % 2 == 0 ? 1.0 : -1.0) * f * (static_cast<double>(d) + 1.0);
+    }
+    y[i] += rng.NextGaussian() * 25.0;
+  }
+
+  TableBuilder fact("store_sales");
+  for (size_t d = 0; d < dims.size(); ++d) {
+    fact.AddInts(dims[d].key, fact_keys[d]);
+  }
+  std::vector<std::string> fact_features;
+  fact.AddDoubles("net_profit", y);
+  AddExtraFeatures(&fact, &rng, "ss_x", per_dim, n, &fact_features);
+  db->LoadTable(fact.Build());
+  ds.AddTable("store_sales", fact_features, "net_profit");
+
+  for (size_t d = 0; d < dims.size(); ++d) {
+    TableBuilder dim(dims[d].name);
+    dim.AddInts(dims[d].key, SequentialKeys(dims[d].rows));
+    std::vector<std::string> features;
+    std::string sig = "sig_" + dims[d].name;
+    dim.AddDoubles(sig, signal[d]);
+    features.push_back(sig);
+    AddExtraFeatures(&dim, &rng, dims[d].name + "_x", per_dim - 1,
+                     dims[d].rows, &features);
+    db->LoadTable(dim.Build());
+    ds.AddTable(dims[d].name, features);
+    ds.AddJoin("store_sales", dims[d].name, {dims[d].key});
+  }
+  return ds;
+}
+
+Dataset MakeImdb(exec::Database* db, const ImdbConfig& config) {
+  Rng rng(config.seed);
+  const size_t movies = config.num_movies;
+  const size_t persons = config.num_persons;
+  const size_t companies = std::max<size_t>(50, movies / 20);
+  const size_t info_types = 40;
+  const size_t keywords = std::max<size_t>(100, movies / 10);
+
+  auto link_table = [&](const std::string& name, const std::string& k1,
+                        size_t dom1, const std::string& k2, size_t dom2,
+                        double per, const std::string& feature,
+                        std::vector<int64_t>* out_k1,
+                        std::vector<int64_t>* out_k2,
+                        std::vector<double>* out_f) {
+    (void)name;
+    size_t n = static_cast<size_t>(per * static_cast<double>(dom1));
+    out_k1->resize(n);
+    out_k2->resize(n);
+    out_f->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      (*out_k1)[i] = rng.NextInt(0, static_cast<int64_t>(dom1) - 1);
+      (*out_k2)[i] = rng.NextInt(0, static_cast<int64_t>(dom2) - 1);
+      (*out_f)[i] = static_cast<double>(rng.NextInt(1, 1000));
+    }
+    (void)k1;
+    (void)k2;
+    (void)feature;
+  };
+
+  // Dimensions.
+  std::vector<double> f_movie = ImputedFeature(&rng, movies);
+  std::vector<double> f_person = ImputedFeature(&rng, persons);
+  std::vector<double> f_company = ImputedFeature(&rng, companies);
+  std::vector<double> f_itype = ImputedFeature(&rng, info_types);
+  std::vector<double> f_keyword = ImputedFeature(&rng, keywords);
+
+  db->LoadTable(TableBuilder("movie")
+                    .AddInts("movie_id", SequentialKeys(movies))
+                    .AddDoubles("f_movie", f_movie)
+                    .Build());
+  db->LoadTable(TableBuilder("person")
+                    .AddInts("person_id", SequentialKeys(persons))
+                    .AddDoubles("f_person", f_person)
+                    .Build());
+  db->LoadTable(TableBuilder("company")
+                    .AddInts("company_id", SequentialKeys(companies))
+                    .AddDoubles("f_company", f_company)
+                    .Build());
+  db->LoadTable(TableBuilder("info_type")
+                    .AddInts("itype_id", SequentialKeys(info_types))
+                    .AddDoubles("f_itype", f_itype)
+                    .Build());
+  db->LoadTable(TableBuilder("keyword")
+                    .AddInts("keyword_id", SequentialKeys(keywords))
+                    .AddDoubles("f_keyword", f_keyword)
+                    .Build());
+
+  // cast_info: the central fact hosting Y.
+  size_t cast_n =
+      static_cast<size_t>(config.cast_per_movie * static_cast<double>(movies));
+  std::vector<int64_t> ci_movie(cast_n), ci_person(cast_n);
+  std::vector<double> ci_role(cast_n), ci_y(cast_n);
+  for (size_t i = 0; i < cast_n; ++i) {
+    ci_movie[i] = rng.NextInt(0, static_cast<int64_t>(movies) - 1);
+    ci_person[i] = rng.NextInt(0, static_cast<int64_t>(persons) - 1);
+    ci_role[i] = static_cast<double>(rng.NextInt(1, 50));
+    ci_y[i] = 0.05 * f_movie[static_cast<size_t>(ci_movie[i])] -
+              0.03 * f_person[static_cast<size_t>(ci_person[i])] +
+              0.5 * ci_role[i] + rng.NextGaussian() * 5.0;
+  }
+  db->LoadTable(TableBuilder("cast_info")
+                    .AddInts("movie_id", ci_movie)
+                    .AddInts("person_id", ci_person)
+                    .AddDoubles("f_role", ci_role)
+                    .AddDoubles("rating", ci_y)
+                    .Build());
+
+  // Satellite M-N fact tables.
+  std::vector<int64_t> mc_m, mc_c, mi_m, mi_t, mk_m, mk_k, pi_p, pi_t;
+  std::vector<double> mc_f, mi_f, mk_f, pi_f;
+  link_table("movie_companies", "movie_id", movies, "company_id", companies,
+             config.companies_per_movie, "f_mc", &mc_m, &mc_c, &mc_f);
+  link_table("movie_info", "movie_id", movies, "itype_id", info_types,
+             config.info_per_movie, "f_mi", &mi_m, &mi_t, &mi_f);
+  link_table("movie_keyword", "movie_id", movies, "keyword_id", keywords,
+             config.keywords_per_movie, "f_mk", &mk_m, &mk_k, &mk_f);
+  link_table("person_info", "person_id", persons, "itype_id", info_types,
+             config.infos_per_person, "f_pi", &pi_p, &pi_t, &pi_f);
+
+  db->LoadTable(TableBuilder("movie_companies")
+                    .AddInts("movie_id", mc_m)
+                    .AddInts("company_id", mc_c)
+                    .AddDoubles("f_mc", mc_f)
+                    .Build());
+  db->LoadTable(TableBuilder("movie_info")
+                    .AddInts("movie_id", mi_m)
+                    .AddInts("itype_id", mi_t)
+                    .AddDoubles("f_mi", mi_f)
+                    .Build());
+  db->LoadTable(TableBuilder("movie_keyword")
+                    .AddInts("movie_id", mk_m)
+                    .AddInts("keyword_id", mk_k)
+                    .AddDoubles("f_mk", mk_f)
+                    .Build());
+  db->LoadTable(TableBuilder("person_info")
+                    .AddInts("person_id", pi_p)
+                    .AddInts("itype_id", pi_t)
+                    .AddDoubles("f_pi", pi_f)
+                    .Build());
+
+  Dataset ds(db);
+  ds.AddTable("cast_info", {"f_role"}, "rating");
+  ds.AddTable("movie", {"f_movie"});
+  ds.AddTable("person", {"f_person"});
+  ds.AddTable("company", {"f_company"});
+  ds.AddTable("info_type", {"f_itype"});
+  ds.AddTable("keyword", {"f_keyword"});
+  ds.AddTable("movie_companies", {"f_mc"});
+  ds.AddTable("movie_info", {"f_mi"});
+  ds.AddTable("movie_keyword", {"f_mk"});
+  ds.AddTable("person_info", {"f_pi"});
+  ds.AddJoin("cast_info", "movie", {"movie_id"});
+  ds.AddJoin("cast_info", "person", {"person_id"});
+  ds.AddJoin("movie", "movie_companies", {"movie_id"});
+  ds.AddJoin("movie", "movie_info", {"movie_id"});
+  ds.AddJoin("movie", "movie_keyword", {"movie_id"});
+  ds.AddJoin("movie_companies", "company", {"company_id"});
+  ds.AddJoin("movie_info", "info_type", {"itype_id"});
+  ds.AddJoin("movie_keyword", "keyword", {"keyword_id"});
+  ds.AddJoin("person", "person_info", {"person_id"});
+  return ds;
+}
+
+Dataset MakePilot(exec::Database* db, const PilotConfig& config) {
+  Rng rng(config.seed);
+  const size_t n = config.rows;
+  std::vector<int64_t> d(n);
+  std::vector<double> s(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = rng.NextInt(1, config.d_domain);
+    s[i] = rng.NextDouble() * 100.0;
+  }
+  TableBuilder fact("f");
+  fact.AddInts("d", d).AddDoubles("s_val", s);
+  for (int k = 0; k < config.extra_columns; ++k) {
+    std::vector<double> ck(n);
+    for (auto& v : ck) v = rng.NextDouble();
+    fact.AddDoubles("c" + std::to_string(k), ck);
+  }
+  db->LoadTable(fact.Build());
+
+  // Dimension over d so tree splits become semi-join selectors over F.
+  std::vector<int64_t> dk(static_cast<size_t>(config.d_domain));
+  std::vector<double> df(static_cast<size_t>(config.d_domain));
+  for (size_t i = 0; i < dk.size(); ++i) {
+    dk[i] = static_cast<int64_t>(i) + 1;
+    df[i] = static_cast<double>(rng.NextInt(1, 1000));
+  }
+  db->LoadTable(TableBuilder("dim_d")
+                    .AddInts("d", dk)
+                    .AddDoubles("f_d", df)
+                    .Build());
+
+  Dataset ds(db);
+  ds.AddTable("f", {}, "s_val");
+  ds.AddTable("dim_d", {"f_d"});
+  ds.AddJoin("f", "dim_d", {"d"});
+  return ds;
+}
+
+}  // namespace data
+}  // namespace joinboost

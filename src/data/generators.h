@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "exec/engine.h"
+
+namespace joinboost {
+namespace data {
+
+/// Favorita-like snowflake (paper Figure 7): Sales fact with N-to-1
+/// dimensions Items, Stores, Dates, Oil and the composite-keyed
+/// Transactions. One "signal" feature per dimension is imputed from
+/// U[1,1000] and Y follows the paper's footnote-7 formula:
+///   y = f_item·log(f_item) + log(f_oil) − 10·f_date − 10·f_store + f_trans².
+struct FavoritaConfig {
+  size_t sales_rows = 200000;
+  size_t num_items = 4000;
+  size_t num_stores = 54;
+  size_t num_dates = 1700;
+  /// Extra random feature columns added per dimension (Figure 10 sweeps the
+  /// total feature count 5 → 50).
+  int extra_features_per_dim = 1;
+  uint64_t seed = 42;
+};
+
+/// Generates and loads the tables, returning a ready Dataset.
+Dataset MakeFavorita(exec::Database* db, const FavoritaConfig& config);
+
+/// TPC-DS-like star: store_sales fact with date_dim, store, item, customer,
+/// household dimensions. `scale_factor` scales cardinalities linearly
+/// (SF=1 ≈ 30k fact rows at the default bench scale); `num_features` spreads
+/// feature columns across the dimensions (paper: 145).
+struct TpcdsConfig {
+  double scale_factor = 1.0;
+  int num_features = 20;
+  size_t base_fact_rows = 30000;
+  uint64_t seed = 7;
+};
+
+Dataset MakeTpcds(exec::Database* db, const TpcdsConfig& config);
+
+/// IMDB-like galaxy schema (paper Figure 3): five M-N fact tables
+/// (cast_info, movie_companies, movie_info, movie_keyword, person_info)
+/// around shared dimensions (movie, person, company, info_type, keyword).
+/// The materialized join explodes multiplicatively (>1TB at paper scale) —
+/// only factorized training can run it. Y lives in cast_info.
+struct ImdbConfig {
+  size_t num_movies = 2000;
+  size_t num_persons = 5000;
+  double cast_per_movie = 12.0;
+  double companies_per_movie = 2.0;
+  double info_per_movie = 5.0;
+  double keywords_per_movie = 6.0;
+  double infos_per_person = 3.0;
+  uint64_t seed = 11;
+};
+
+Dataset MakeImdb(exec::Database* db, const ImdbConfig& config);
+
+/// The §5.3.2 pilot-study synthetic fact table F(s, d, c1..ck): `s` is the
+/// semi-ring column to update, `d ∈ [1, d_domain]` the join key, and the
+/// c_k are payload columns that a CREATE-based update must copy.
+struct PilotConfig {
+  size_t rows = 2000000;
+  int64_t d_domain = 10000;
+  int extra_columns = 0;  ///< the paper's k ∈ {0, 5, 10}
+  uint64_t seed = 3;
+};
+
+/// Registers table "f" (plus dimension "dim_d" with per-leaf ranges) and
+/// returns a Dataset over it.
+Dataset MakePilot(exec::Database* db, const PilotConfig& config);
+
+}  // namespace data
+}  // namespace joinboost

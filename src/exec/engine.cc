@@ -1,0 +1,570 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace joinboost {
+namespace exec {
+
+namespace {
+
+/// Collect column references of an expression, skipping subquery interiors.
+void CollectColumnRefs(const sql::ExprPtr& e,
+                       std::vector<const sql::Expr*>* out) {
+  if (!e) return;
+  if (e->kind == sql::ExprKind::kColumnRef) {
+    out->push_back(e.get());
+    return;
+  }
+  if (e->kind == sql::ExprKind::kInSubquery) {
+    for (const auto& a : e->args) CollectColumnRefs(a, out);
+    return;  // subquery body resolves independently
+  }
+  for (const auto& a : e->args) CollectColumnRefs(a, out);
+  for (const auto& a : e->partition_by) CollectColumnRefs(a, out);
+  for (const auto& a : e->order_by) CollectColumnRefs(a, out);
+}
+
+/// True when every column ref of `e` resolves against `t`.
+bool ResolvesAgainst(const sql::ExprPtr& e, const ExecTable& t) {
+  std::vector<const sql::Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  for (const auto* r : refs) {
+    if (t.Find(r->table, r->column) < 0) return false;
+  }
+  return true;
+}
+
+void SplitConjuncts(const sql::ExprPtr& e, std::vector<sql::ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == sql::ExprKind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->args[0], out);
+    SplitConjuncts(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+sql::ExprPtr CombineConjuncts(const std::vector<sql::ExprPtr>& cs) {
+  if (cs.empty()) return nullptr;
+  sql::ExprPtr acc = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) {
+    acc = sql::Expr::Binary("AND", acc, cs[i]);
+  }
+  return acc;
+}
+
+/// Register overrides for select-list subtrees that textually match a
+/// GROUP BY expression, pointing them at the grouped key column.
+void OverrideGroupRefs(const sql::ExprPtr& e,
+                       const std::vector<std::string>& group_sql,
+                       const std::vector<VectorData>& key_cols,
+                       EvalContext* ctx) {
+  if (!e) return;
+  if (e->kind != sql::ExprKind::kColumnRef) {
+    std::string printed = sql::ToSql(*e);
+    for (size_t i = 0; i < group_sql.size(); ++i) {
+      if (printed == group_sql[i]) {
+        ctx->overrides.emplace(e.get(), key_cols[i]);
+        return;
+      }
+    }
+  }
+  if (e->kind == sql::ExprKind::kAggCall) return;
+  for (const auto& a : e->args) {
+    OverrideGroupRefs(a, group_sql, key_cols, ctx);
+  }
+}
+
+std::string OutputName(const sql::Expr& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.kind == sql::ExprKind::kColumnRef) return item.column;
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
+  wal_ = std::make_unique<WriteAheadLog>(profile_.wal_to_disk);
+  int threads = std::max(profile_.intra_query_threads, 1);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) threads = std::min<int>(threads, static_cast<int>(hw) * 2);
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+}
+
+Database::~Database() = default;
+
+Database::Result Database::Execute(const std::string& sql_text,
+                                   const std::string& tag) {
+  Timer timer;
+  sql::Statement stmt = sql::Parse(sql_text);
+  Result res = ExecuteStatement(stmt);
+  QueryLogEntry entry;
+  entry.tag = tag;
+  entry.sql = sql_text;
+  entry.ms = timer.Millis();
+  entry.rows_out = res.table ? res.table->rows : res.affected;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_.push_back(std::move(entry));
+  }
+  return res;
+}
+
+std::shared_ptr<ExecTable> Database::Query(const std::string& sql_text,
+                                           const std::string& tag) {
+  Result res = Execute(sql_text, tag);
+  JB_CHECK_MSG(res.table != nullptr, "Query() used with non-SELECT statement");
+  return res.table;
+}
+
+double Database::QueryScalarDouble(const std::string& sql_text,
+                                   const std::string& tag) {
+  auto t = Query(sql_text, tag);
+  JB_CHECK_MSG(t->rows >= 1 && !t->cols.empty(),
+               "scalar query returned empty result: " << sql_text);
+  Value v = t->GetValue(0, 0);
+  return v.AsDouble();
+}
+
+Database::Result Database::ExecuteStatement(const sql::Statement& stmt) {
+  Result res;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      res.table = std::make_shared<ExecTable>(RunSelect(*stmt.select));
+      break;
+    case sql::Statement::Kind::kCreateTableAs:
+      if (stmt.or_replace) catalog_.DropIfExists(stmt.table);
+      ExecuteCreateTableAs(stmt);
+      break;
+    case sql::Statement::Kind::kUpdate:
+      res.affected = ExecuteUpdate(stmt);
+      break;
+    case sql::Statement::Kind::kDropTable:
+      if (stmt.if_exists) {
+        catalog_.DropIfExists(stmt.table);
+      } else {
+        catalog_.Drop(stmt.table);
+      }
+      break;
+  }
+  return res;
+}
+
+ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
+  OpContext octx;
+  octx.row_mode = !profile_.columnar_exec;
+  octx.threads = profile_.intra_query_threads;
+  octx.pool = pool_.get();
+  octx.interop_scan = profile_.dataframe_interop;
+
+  EvalContext ectx;
+  ectx.run_subquery = [this](const sql::SelectStmt& sub) {
+    return RunSelect(sub);
+  };
+
+  // ---- FROM + pushdown + joins ----
+  std::vector<sql::ExprPtr> conjuncts;
+  SplitConjuncts(stmt.where, &conjuncts);
+  std::vector<bool> consumed(conjuncts.size(), false);
+
+  auto plan_ref = [&](const sql::TableRef& ref) -> ExecTable {
+    ExecTable t;
+    if (ref.kind == sql::TableRef::Kind::kBase) {
+      TablePtr base = catalog_.Get(ref.name);
+      t = ScanTable(*base, ref.Qualifier(), octx);
+    } else {
+      t = RunSelect(*ref.subquery);
+      for (auto& c : t.cols) c.qualifier = ref.Qualifier();
+    }
+    // Push down single-table conjuncts.
+    std::vector<sql::ExprPtr> pushed;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!consumed[i] && ResolvesAgainst(conjuncts[i], t)) {
+        pushed.push_back(conjuncts[i]);
+        consumed[i] = true;
+      }
+    }
+    if (!pushed.empty()) {
+      t = FilterExec(t, *CombineConjuncts(pushed), ectx, octx);
+    }
+    return t;
+  };
+
+  ExecTable current;
+  if (stmt.has_from) {
+    current = plan_ref(stmt.from);
+    for (const auto& jc : stmt.joins) {
+      ExecTable right = plan_ref(jc.table);
+      // Parse equi conditions.
+      std::vector<sql::ExprPtr> jconj;
+      SplitConjuncts(jc.condition, &jconj);
+      std::vector<int> lkeys, rkeys;
+      std::vector<sql::ExprPtr> residual;
+      for (const auto& c : jconj) {
+        bool handled = false;
+        if (c->kind == sql::ExprKind::kBinary && c->op == "=" &&
+            c->args[0]->kind == sql::ExprKind::kColumnRef &&
+            c->args[1]->kind == sql::ExprKind::kColumnRef) {
+          const auto& a = *c->args[0];
+          const auto& b = *c->args[1];
+          int la = current.Find(a.table, a.column);
+          int rb = right.Find(b.table, b.column);
+          if (la >= 0 && rb >= 0) {
+            lkeys.push_back(la);
+            rkeys.push_back(rb);
+            handled = true;
+          } else {
+            int lb = current.Find(b.table, b.column);
+            int ra = right.Find(a.table, a.column);
+            if (lb >= 0 && ra >= 0) {
+              lkeys.push_back(lb);
+              rkeys.push_back(ra);
+              handled = true;
+            }
+          }
+        }
+        if (!handled) residual.push_back(c);
+      }
+      JB_CHECK_MSG(!lkeys.empty(),
+                   "join requires at least one equi condition: "
+                       << sql::ToSql(*jc.condition));
+      current = HashJoinExec(current, right, lkeys, rkeys, jc.type, octx);
+      if (!residual.empty()) {
+        JB_CHECK_MSG(jc.type == sql::JoinType::kInner,
+                     "residual join predicates only on inner joins");
+        current = FilterExec(current, *CombineConjuncts(residual), ectx, octx);
+      }
+    }
+  } else {
+    current.rows = 1;  // SELECT <exprs> without FROM
+  }
+
+  // Remaining WHERE conjuncts.
+  std::vector<sql::ExprPtr> remaining;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!consumed[i]) remaining.push_back(conjuncts[i]);
+  }
+  if (!remaining.empty()) {
+    current = FilterExec(current, *CombineConjuncts(remaining), ectx, octx);
+  }
+
+  // ---- aggregation / windows ----
+  std::vector<const sql::Expr*> agg_nodes;
+  for (const auto& item : stmt.select_list) {
+    CollectAggregates(item, &agg_nodes);
+  }
+  if (stmt.having) CollectAggregates(stmt.having, &agg_nodes);
+
+  ExecTable projected;
+  if (!stmt.group_by.empty() || !agg_nodes.empty()) {
+    std::vector<AggSpec> specs;
+    specs.reserve(agg_nodes.size());
+    for (const auto* node : agg_nodes) {
+      AggSpec spec;
+      spec.node = node;
+      spec.func = node->op;
+      spec.arg = (node->args.empty() ||
+                  node->args[0]->kind == sql::ExprKind::kStar)
+                     ? nullptr
+                     : node->args[0].get();
+      specs.push_back(spec);
+    }
+    std::vector<VectorData> agg_outputs;
+    ExecTable grouped = HashAggExec(current, stmt.group_by, specs, ectx, octx,
+                                    &agg_outputs);
+    // Final projection over the grouped table: aggregate nodes resolve via
+    // overrides; textual matches of GROUP BY expressions resolve to keys.
+    EvalContext pctx;
+    pctx.run_subquery = ectx.run_subquery;
+    for (size_t a = 0; a < specs.size(); ++a) {
+      pctx.overrides.emplace(specs[a].node, agg_outputs[a]);
+    }
+    std::vector<std::string> group_sql;
+    std::vector<VectorData> key_cols;
+    for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+      group_sql.push_back(sql::ToSql(*stmt.group_by[g]));
+      key_cols.push_back(grouped.cols[g].data);
+    }
+    for (const auto& item : stmt.select_list) {
+      OverrideGroupRefs(item, group_sql, key_cols, &pctx);
+    }
+    if (stmt.having) {
+      OverrideGroupRefs(stmt.having, group_sql, key_cols, &pctx);
+      std::vector<uint32_t> sel =
+          EvalPredicate(*stmt.having, grouped, pctx, /*row_mode=*/false);
+      grouped = grouped.GatherRows(sel);
+      for (auto& [node, vec] : pctx.overrides) {
+        vec = vec.Gather(sel);
+      }
+    }
+    projected.rows = grouped.rows;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const auto& item = stmt.select_list[i];
+      JB_CHECK_MSG(item->kind != sql::ExprKind::kStar,
+                   "SELECT * with GROUP BY is not supported");
+      VectorData v = EvalExpr(*item, grouped, pctx);
+      projected.cols.push_back({"", OutputName(*item, i), std::move(v)});
+    }
+  } else {
+    // Windows (non-grouped).
+    std::vector<const sql::Expr*> windows;
+    for (const auto& item : stmt.select_list) CollectWindows(item, &windows);
+    EvalContext pctx;
+    pctx.run_subquery = ectx.run_subquery;
+    for (const auto* w : windows) {
+      pctx.overrides.emplace(w, WindowExec(current, *w, pctx));
+    }
+    projected.rows = current.rows;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const auto& item = stmt.select_list[i];
+      if (item->kind == sql::ExprKind::kStar) {
+        for (const auto& c : current.cols) projected.cols.push_back(c);
+        continue;
+      }
+      VectorData v = EvalExpr(*item, current, pctx);
+      projected.cols.push_back({"", OutputName(*item, i), std::move(v)});
+    }
+  }
+
+  // ---- DISTINCT ----
+  if (stmt.distinct && projected.rows > 0) {
+    std::vector<int> cols;
+    for (size_t i = 0; i < projected.cols.size(); ++i) {
+      cols.push_back(static_cast<int>(i));
+    }
+    OpContext d_octx = octx;
+    GroupResult gr = GroupRows(projected, cols, d_octx);
+    projected = projected.GatherRows(gr.representatives);
+  }
+
+  // ---- ORDER BY / LIMIT (resolve against output columns) ----
+  if (!stmt.order_by.empty()) {
+    EvalContext octx2;
+    octx2.run_subquery = ectx.run_subquery;
+    projected = SortExec(projected, stmt.order_by, octx2);
+  }
+  if (stmt.limit >= 0) projected = LimitExec(projected, stmt.limit);
+  return projected;
+}
+
+void Database::RegisterTable(const TablePtr& table) {
+  catalog_.Register(table);
+}
+
+void Database::LoadTable(const TablePtr& table) {
+  if (profile_.compression && !table->dataframe()) table->EncodeAll();
+  catalog_.Register(table);
+}
+
+TablePtr Database::MaterializeResult(const std::string& name,
+                                     const ExecTable& result,
+                                     bool as_dataframe) {
+  Schema schema;
+  std::vector<ColumnPtr> cols;
+  for (size_t i = 0; i < result.cols.size(); ++i) {
+    const auto& c = result.cols[i];
+    std::string col_name = c.name.empty() ? "col" + std::to_string(i) : c.name;
+    schema.AddField({col_name, c.data.type});
+    switch (c.data.type) {
+      case TypeId::kInt64:
+        cols.push_back(ColumnData::AdoptInts(c.data.ints));
+        break;
+      case TypeId::kFloat64:
+        cols.push_back(ColumnData::AdoptDoubles(c.data.dbls));
+        break;
+      case TypeId::kString:
+        cols.push_back(ColumnData::AdoptCodes(c.data.ints, c.data.dict));
+        break;
+    }
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema), std::move(cols));
+  table->set_dataframe(as_dataframe);
+  if (profile_.compression && !as_dataframe) {
+    table->EncodeAll();  // real compression cost on CREATE
+  }
+  if (profile_.wal && !as_dataframe) {
+    // Log the created data (DBMSes WAL new tables too).
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      const auto& col = table->column(i);
+      if (col->type() == TypeId::kFloat64) {
+        wal_->LogDoubles(name, table->schema().field(i).name, {},
+                         col->DecodeDoubles());
+      } else {
+        wal_->LogInts(name, table->schema().field(i).name, {},
+                      col->DecodeInts());
+      }
+    }
+  }
+  catalog_.Register(table);
+  return table;
+}
+
+void Database::ExecuteCreateTableAs(const sql::Statement& stmt) {
+  ExecTable result = RunSelect(*stmt.select);
+  MaterializeResult(stmt.table, result, /*as_dataframe=*/false);
+}
+
+size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
+  // Updates are serialized and single-threaded, as in DuckDB (§5.3.2).
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  TablePtr table = catalog_.Get(stmt.table);
+  JB_CHECK_MSG(!table->dataframe() || profile_.allow_column_swap,
+               "dataframe tables are updated via column swap");
+
+  OpContext octx;
+  octx.row_mode = !profile_.columnar_exec;
+  octx.threads = 1;
+  octx.pool = nullptr;
+  EvalContext ectx;
+  ectx.run_subquery = [this](const sql::SelectStmt& sub) {
+    return RunSelect(sub);
+  };
+
+  // Decompress (cost) to evaluate and write.
+  ExecTable view = ScanTable(*table, stmt.table, octx);
+
+  std::vector<uint32_t> touched;
+  if (stmt.where) {
+    touched = EvalPredicate(*stmt.where, view, ectx, octx.row_mode);
+  } else {
+    touched.resize(view.rows);
+    for (size_t i = 0; i < view.rows; ++i) touched[i] = static_cast<uint32_t>(i);
+  }
+  if (touched.empty()) return 0;
+
+  uint64_t txn = 0;
+  if (profile_.mvcc) txn = versions_.BeginTxn();
+
+  // Row stores touch whole rows: emulate the row rewrite traffic.
+  if (!profile_.columnar_exec) {
+    size_t row_bytes = 0;
+    std::vector<uint8_t> row_buffer(table->num_columns() * 8);
+    volatile uint64_t sink = 0;
+    for (uint32_t r : touched) {
+      for (size_t c = 0; c < view.cols.size(); ++c) {
+        const VectorData& v = view.cols[c].data;
+        uint64_t bits = v.type == TypeId::kFloat64
+                            ? [&] {
+                                double d = (*v.dbls)[r];
+                                uint64_t b;
+                                std::memcpy(&b, &d, 8);
+                                return b;
+                              }()
+                            : static_cast<uint64_t>((*v.ints)[r]);
+        std::memcpy(&row_buffer[c * 8], &bits, 8);
+      }
+      sink = sink + Fnv1a(row_buffer.data(), row_buffer.size());
+      row_bytes += row_buffer.size();
+    }
+    (void)sink;
+    (void)row_bytes;
+  }
+
+  for (const auto& [col_name, expr] : stmt.set_items) {
+    int idx = table->schema().FieldIndex(col_name);
+    JB_CHECK_MSG(idx >= 0, "UPDATE: no column " << col_name);
+    const ColumnPtr& col = table->column(static_cast<size_t>(idx));
+
+    // Evaluate the full expression, then scatter at touched rows.
+    VectorData new_vals = EvalExpr(*expr, view, ectx);
+
+    if (col->type() == TypeId::kFloat64) {
+      std::vector<double> data = col->DecodeDoubles();
+      std::vector<double> old_touched;
+      std::vector<double> new_touched;
+      old_touched.reserve(touched.size());
+      new_touched.reserve(touched.size());
+      for (uint32_t r : touched) {
+        old_touched.push_back(data[r]);
+        double nv = new_vals.type == TypeId::kFloat64
+                        ? (*new_vals.dbls)[r]
+                        : static_cast<double>((*new_vals.ints)[r]);
+        new_touched.push_back(nv);
+        data[r] = nv;
+      }
+      if (profile_.mvcc) {
+        versions_.RecordDoubles(txn, stmt.table, col_name, touched,
+                                std::move(old_touched));
+      }
+      if (profile_.wal) {
+        wal_->LogDoubles(stmt.table, col_name, touched, new_touched);
+      }
+      auto mutable_col = table->column(static_cast<size_t>(idx));
+      mutable_col->ReplaceDoubles(std::move(data));
+      if (profile_.compression && !table->dataframe()) mutable_col->Encode();
+    } else {
+      std::vector<int64_t> data = col->DecodeInts();
+      std::vector<int64_t> old_touched;
+      std::vector<int64_t> new_touched;
+      for (uint32_t r : touched) {
+        old_touched.push_back(data[r]);
+        int64_t nv = new_vals.type == TypeId::kFloat64
+                         ? static_cast<int64_t>((*new_vals.dbls)[r])
+                         : (*new_vals.ints)[r];
+        new_touched.push_back(nv);
+        data[r] = nv;
+      }
+      if (profile_.mvcc) {
+        versions_.RecordInts(txn, stmt.table, col_name, touched,
+                             std::move(old_touched));
+      }
+      if (profile_.wal) {
+        wal_->LogInts(stmt.table, col_name, touched, new_touched);
+      }
+      auto mutable_col = table->column(static_cast<size_t>(idx));
+      mutable_col->ReplaceInts(std::move(data));
+      if (profile_.compression && !table->dataframe()) mutable_col->Encode();
+    }
+  }
+  return touched.size();
+}
+
+void Database::SwapColumns(const std::string& table1, const std::string& col1,
+                           const std::string& table2,
+                           const std::string& col2) {
+  JB_CHECK_MSG(profile_.allow_column_swap,
+               "profile '" << profile_.name
+                           << "' does not support column swap (the paper's "
+                              "engine patch, §5.4)");
+  TablePtr t1 = catalog_.Get(table1);
+  TablePtr t2 = catalog_.Get(table2);
+  t1->column(col1)->SwapPayload(*t2->column(col2));
+}
+
+std::vector<Database::QueryLogEntry> Database::QueryLog() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return query_log_;
+}
+
+void Database::ClearQueryLog() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  query_log_.clear();
+}
+
+double Database::TotalMsForTag(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  double total = 0;
+  for (const auto& e : query_log_) {
+    if (e.tag == tag) total += e.ms;
+  }
+  return total;
+}
+
+size_t Database::CountForTag(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  size_t n = 0;
+  for (const auto& e : query_log_) {
+    if (e.tag == tag) ++n;
+  }
+  return n;
+}
+
+}  // namespace exec
+}  // namespace joinboost

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/vector.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "storage/engine_profile.h"
+#include "storage/mvcc.h"
+#include "storage/wal.h"
+#include "util/threadpool.h"
+
+namespace joinboost {
+namespace exec {
+
+/// The engine facade: a self-contained in-memory SQL database. JoinBoost's
+/// trainers talk to it exclusively through SQL strings (paper criterion C1),
+/// except for the single column-swap extension the paper proposes for
+/// columnar engines (§5.4) which is exposed as SwapColumns().
+class Database {
+ public:
+  explicit Database(EngineProfile profile = EngineProfile::DSwap());
+  ~Database();
+
+  Catalog& catalog() { return catalog_; }
+  const EngineProfile& profile() const { return profile_; }
+  WriteAheadLog& wal() { return *wal_; }
+  VersionStore& versions() { return versions_; }
+  ThreadPool& pool() { return *pool_; }
+
+  struct Result {
+    std::shared_ptr<ExecTable> table;  ///< non-null for SELECT
+    size_t affected = 0;               ///< rows touched by UPDATE
+  };
+
+  /// Parse and execute one SQL statement. `tag` labels the query-log entry
+  /// (the paper's Figure 9 classifies queries by role).
+  Result Execute(const std::string& sql, const std::string& tag = "");
+
+  /// Execute a SELECT and return the result table.
+  std::shared_ptr<ExecTable> Query(const std::string& sql,
+                                   const std::string& tag = "");
+
+  /// First row / first column as double (aggregate probes).
+  double QueryScalarDouble(const std::string& sql, const std::string& tag = "");
+
+  /// Execute a parsed SELECT (internal fast path; still logged-free).
+  ExecTable RunSelect(const sql::SelectStmt& stmt);
+
+  /// Register a table without storage-profile processing (test datasets).
+  void RegisterTable(const TablePtr& table);
+
+  /// Register applying the storage profile (compress when configured) — use
+  /// for the persistent base tables of a benchmark.
+  void LoadTable(const TablePtr& table);
+
+  /// Materialize a query result under `name` honouring the storage profile
+  /// (compression + WAL costs); returns the new table.
+  TablePtr MaterializeResult(const std::string& name, const ExecTable& result,
+                             bool as_dataframe = false);
+
+  /// Pointer-based column swap between two tables (requires a profile with
+  /// allow_column_swap — the engine patch of §5.4).
+  void SwapColumns(const std::string& table1, const std::string& col1,
+                   const std::string& table2, const std::string& col2);
+
+  // ---- instrumentation ----
+  struct QueryLogEntry {
+    std::string tag;
+    std::string sql;
+    double ms = 0;
+    size_t rows_out = 0;
+  };
+  std::vector<QueryLogEntry> QueryLog() const;
+  void ClearQueryLog();
+  double TotalMsForTag(const std::string& tag) const;
+  size_t CountForTag(const std::string& tag) const;
+
+ private:
+  Result ExecuteStatement(const sql::Statement& stmt);
+  size_t ExecuteUpdate(const sql::Statement& stmt);
+  void ExecuteCreateTableAs(const sql::Statement& stmt);
+
+  EngineProfile profile_;
+  Catalog catalog_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  VersionStore versions_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex update_mu_;  ///< updates are single-threaded (§5.3.2)
+
+  mutable std::mutex log_mu_;
+  std::vector<QueryLogEntry> query_log_;
+};
+
+}  // namespace exec
+}  // namespace joinboost

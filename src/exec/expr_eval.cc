@@ -1,0 +1,652 @@
+#include "exec/expr_eval.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace joinboost {
+namespace exec {
+
+namespace {
+
+bool IsNumericBinary(const std::string& op) {
+  return op == "+" || op == "-" || op == "*" || op == "/" || op == "%";
+}
+
+bool IsComparison(const std::string& op) {
+  return op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+double NullSafeToDouble(const VectorData& v, size_t i) {
+  if (v.type == TypeId::kFloat64) return (*v.dbls)[i];
+  int64_t x = (*v.ints)[i];
+  if (x == kNullInt64) return NullFloat64();
+  return static_cast<double>(x);
+}
+
+VectorData EvalNumericBinary(const std::string& op, const VectorData& l,
+                             const VectorData& r, size_t rows) {
+  bool as_double = l.type == TypeId::kFloat64 || r.type == TypeId::kFloat64 ||
+                   op == "/";
+  if (!as_double) {
+    const auto& a = l.Ints();
+    const auto& b = r.Ints();
+    std::vector<int64_t> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      int64_t x = a[i], y = b[i];
+      if (x == kNullInt64 || y == kNullInt64) {
+        out[i] = kNullInt64;
+        continue;
+      }
+      if (op == "+") {
+        out[i] = x + y;
+      } else if (op == "-") {
+        out[i] = x - y;
+      } else if (op == "*") {
+        out[i] = x * y;
+      } else {  // "%"
+        out[i] = y == 0 ? kNullInt64 : x % y;
+      }
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  std::vector<double> out(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    double x = NullSafeToDouble(l, i);
+    double y = NullSafeToDouble(r, i);
+    if (IsNullFloat64(x) || IsNullFloat64(y)) {
+      out[i] = NullFloat64();
+      continue;
+    }
+    if (op == "+") {
+      out[i] = x + y;
+    } else if (op == "-") {
+      out[i] = x - y;
+    } else if (op == "*") {
+      out[i] = x * y;
+    } else if (op == "/") {
+      out[i] = y == 0.0 ? NullFloat64() : x / y;
+    } else {  // "%"
+      out[i] = std::fmod(x, y);
+    }
+  }
+  return VectorData::FromDoubles(std::move(out));
+}
+
+VectorData EvalComparison(const std::string& op, const VectorData& l,
+                          const VectorData& r, size_t rows) {
+  std::vector<int64_t> out(rows);
+  bool string_cmp = l.type == TypeId::kString && r.type == TypeId::kString;
+  if (string_cmp && l.dict && r.dict && l.dict != r.dict) {
+    // Different dictionaries: compare decoded strings (slow path).
+    for (size_t i = 0; i < rows; ++i) {
+      int64_t a = (*l.ints)[i];
+      int64_t b = (*r.ints)[i];
+      if (a == kNullInt64 || b == kNullInt64) {
+        out[i] = 0;
+        continue;
+      }
+      int c = l.dict->At(a).compare(r.dict->At(b));
+      bool res = false;
+      if (op == "=") res = c == 0;
+      else if (op == "<>") res = c != 0;
+      else if (op == "<") res = c < 0;
+      else if (op == "<=") res = c <= 0;
+      else if (op == ">") res = c > 0;
+      else res = c >= 0;
+      out[i] = res ? 1 : 0;
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  // Numeric / same-dict code comparison.
+  for (size_t i = 0; i < rows; ++i) {
+    double x = NullSafeToDouble(l, i);
+    double y = NullSafeToDouble(r, i);
+    if (IsNullFloat64(x) || IsNullFloat64(y)) {
+      out[i] = 0;
+      continue;
+    }
+    bool res = false;
+    if (op == "=") res = x == y;
+    else if (op == "<>") res = x != y;
+    else if (op == "<") res = x < y;
+    else if (op == "<=") res = x <= y;
+    else if (op == ">") res = x > y;
+    else res = x >= y;
+    out[i] = res ? 1 : 0;
+  }
+  return VectorData::FromInts(std::move(out));
+}
+
+/// Translate a string literal to the dictionary code space of `other`.
+VectorData BroadcastLiteralForColumn(const sql::Expr& lit, size_t rows,
+                                     const VectorData* other) {
+  if (lit.kind == sql::ExprKind::kStringLiteral && other &&
+      other->type == TypeId::kString && other->dict) {
+    int64_t code = other->dict->Find(lit.str_val);
+    VectorData out;
+    out.type = TypeId::kString;
+    out.dict = other->dict;
+    out.ints = std::make_shared<const std::vector<int64_t>>(
+        std::vector<int64_t>(rows, code));
+    return out;
+  }
+  switch (lit.kind) {
+    case sql::ExprKind::kIntLiteral:
+      return VectorData::FromInts(std::vector<int64_t>(rows, lit.int_val));
+    case sql::ExprKind::kFloatLiteral:
+      return VectorData::FromDoubles(std::vector<double>(rows, lit.float_val));
+    case sql::ExprKind::kNullLiteral:
+      return VectorData::FromDoubles(std::vector<double>(rows, NullFloat64()));
+    case sql::ExprKind::kStringLiteral: {
+      // String literal without dictionary context: build a private dict.
+      auto dict = std::make_shared<Dictionary>();
+      int64_t code = dict->GetOrAdd(lit.str_val);
+      return VectorData::FromCodes(std::vector<int64_t>(rows, code), dict);
+    }
+    default:
+      JB_THROW("not a literal");
+  }
+}
+
+bool IsLiteral(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::kIntLiteral ||
+         e.kind == sql::ExprKind::kFloatLiteral ||
+         e.kind == sql::ExprKind::kStringLiteral ||
+         e.kind == sql::ExprKind::kNullLiteral;
+}
+
+VectorData EvalFunc(const sql::Expr& e, const ExecTable& input,
+                    EvalContext& ctx);
+
+}  // namespace
+
+VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
+                    EvalContext& ctx) {
+  auto ov = ctx.overrides.find(&e);
+  if (ov != ctx.overrides.end()) return ov->second;
+
+  const size_t rows = input.rows;
+  switch (e.kind) {
+    case sql::ExprKind::kColumnRef: {
+      int idx = input.FindRequired(e.table, e.column);
+      return input.cols[static_cast<size_t>(idx)].data;
+    }
+    case sql::ExprKind::kIntLiteral:
+    case sql::ExprKind::kFloatLiteral:
+    case sql::ExprKind::kStringLiteral:
+    case sql::ExprKind::kNullLiteral:
+      return BroadcastLiteralForColumn(e, rows, nullptr);
+    case sql::ExprKind::kBinary: {
+      const std::string& op = e.op;
+      if (op == "AND" || op == "OR") {
+        VectorData l = EvalExpr(*e.args[0], input, ctx);
+        VectorData r = EvalExpr(*e.args[1], input, ctx);
+        const auto& a = l.Ints();
+        const auto& b = r.Ints();
+        std::vector<int64_t> out(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          bool x = a[i] != 0 && a[i] != kNullInt64;
+          bool y = b[i] != 0 && b[i] != kNullInt64;
+          out[i] = (op == "AND" ? (x && y) : (x || y)) ? 1 : 0;
+        }
+        return VectorData::FromInts(std::move(out));
+      }
+      // Dictionary-aware literal handling for string comparisons.
+      VectorData l, r;
+      if (IsLiteral(*e.args[0]) && !IsLiteral(*e.args[1])) {
+        r = EvalExpr(*e.args[1], input, ctx);
+        l = BroadcastLiteralForColumn(*e.args[0], rows, &r);
+      } else if (IsLiteral(*e.args[1]) && !IsLiteral(*e.args[0])) {
+        l = EvalExpr(*e.args[0], input, ctx);
+        r = BroadcastLiteralForColumn(*e.args[1], rows, &l);
+      } else {
+        l = EvalExpr(*e.args[0], input, ctx);
+        r = EvalExpr(*e.args[1], input, ctx);
+      }
+      if (IsNumericBinary(op)) return EvalNumericBinary(op, l, r, rows);
+      if (IsComparison(op)) return EvalComparison(op, l, r, rows);
+      JB_THROW("unknown binary operator " << op);
+    }
+    case sql::ExprKind::kUnary: {
+      VectorData v = EvalExpr(*e.args[0], input, ctx);
+      if (e.op == "NOT") {
+        const auto& a = v.Ints();
+        std::vector<int64_t> out(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          out[i] = (a[i] == 0) ? 1 : 0;
+        }
+        return VectorData::FromInts(std::move(out));
+      }
+      // unary minus
+      if (v.type == TypeId::kFloat64) {
+        std::vector<double> out(rows);
+        const auto& a = v.Dbls();
+        for (size_t i = 0; i < rows; ++i) out[i] = -a[i];
+        return VectorData::FromDoubles(std::move(out));
+      }
+      std::vector<int64_t> out(rows);
+      const auto& a = v.Ints();
+      for (size_t i = 0; i < rows; ++i) {
+        out[i] = a[i] == kNullInt64 ? kNullInt64 : -a[i];
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    case sql::ExprKind::kFuncCall:
+      return EvalFunc(e, input, ctx);
+    case sql::ExprKind::kCase: {
+      size_t pairs = (e.args.size() - (e.has_else ? 1 : 0)) / 2;
+      std::vector<VectorData> conds(pairs), vals(pairs);
+      for (size_t p = 0; p < pairs; ++p) {
+        conds[p] = EvalExpr(*e.args[2 * p], input, ctx);
+        vals[p] = EvalExpr(*e.args[2 * p + 1], input, ctx);
+      }
+      VectorData else_val;
+      if (e.has_else) else_val = EvalExpr(*e.args.back(), input, ctx);
+      // Result typed double if any branch is double, else int.
+      bool as_double = e.has_else && else_val.type == TypeId::kFloat64;
+      for (const auto& v : vals) as_double |= v.type == TypeId::kFloat64;
+      if (as_double) {
+        std::vector<double> out(rows, NullFloat64());
+        for (size_t i = 0; i < rows; ++i) {
+          bool matched = false;
+          for (size_t p = 0; p < pairs; ++p) {
+            int64_t c = conds[p].Ints()[i];
+            if (c != 0 && c != kNullInt64) {
+              out[i] = NullSafeToDouble(vals[p], i);
+              matched = true;
+              break;
+            }
+          }
+          if (!matched && e.has_else) out[i] = NullSafeToDouble(else_val, i);
+        }
+        return VectorData::FromDoubles(std::move(out));
+      }
+      std::vector<int64_t> out(rows, kNullInt64);
+      for (size_t i = 0; i < rows; ++i) {
+        bool matched = false;
+        for (size_t p = 0; p < pairs; ++p) {
+          int64_t c = conds[p].Ints()[i];
+          if (c != 0 && c != kNullInt64) {
+            out[i] = vals[p].Ints()[i];
+            matched = true;
+            break;
+          }
+        }
+        if (!matched && e.has_else) out[i] = else_val.Ints()[i];
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    case sql::ExprKind::kInSubquery: {
+      JB_CHECK_MSG(ctx.run_subquery, "no subquery runner in context");
+      ExecTable sub = ctx.run_subquery(*e.subquery);
+      if (e.args.empty()) {
+        // Scalar subquery: broadcast the single value.
+        JB_CHECK_MSG(sub.rows == 1 && sub.cols.size() == 1,
+                     "scalar subquery must return 1x1");
+        const VectorData& v = sub.cols[0].data;
+        if (v.type == TypeId::kFloat64) {
+          return VectorData::FromDoubles(
+              std::vector<double>(rows, (*v.dbls)[0]));
+        }
+        return VectorData::FromInts(std::vector<int64_t>(rows, (*v.ints)[0]));
+      }
+      JB_CHECK_MSG(sub.cols.size() == 1, "IN subquery must return 1 column");
+      VectorData probe = EvalExpr(*e.args[0], input, ctx);
+      const VectorData& list = sub.cols[0].data;
+      std::unordered_set<int64_t> set;
+      if (list.type == TypeId::kFloat64) {
+        for (double d : list.Dbls()) {
+          int64_t bits;
+          static_assert(sizeof(double) == sizeof(int64_t));
+          std::memcpy(&bits, &d, 8);
+          set.insert(bits);
+        }
+      } else {
+        for (int64_t x : list.Ints()) set.insert(x);
+      }
+      std::vector<int64_t> out(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        bool found;
+        if (probe.type == TypeId::kFloat64) {
+          double d = (*probe.dbls)[i];
+          int64_t bits;
+          std::memcpy(&bits, &d, 8);
+          found = set.count(bits) > 0;
+        } else {
+          int64_t x = (*probe.ints)[i];
+          found = x != kNullInt64 && set.count(x) > 0;
+        }
+        out[i] = (found != e.negated) ? 1 : 0;
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    case sql::ExprKind::kInList: {
+      VectorData probe = EvalExpr(*e.args[0], input, ctx);
+      std::unordered_set<int64_t> set;
+      bool as_double = probe.type == TypeId::kFloat64;
+      for (size_t a = 1; a < e.args.size(); ++a) {
+        const sql::Expr& lit = *e.args[a];
+        if (probe.type == TypeId::kString && probe.dict &&
+            lit.kind == sql::ExprKind::kStringLiteral) {
+          set.insert(probe.dict->Find(lit.str_val));
+        } else if (as_double) {
+          double d = lit.kind == sql::ExprKind::kFloatLiteral
+                         ? lit.float_val
+                         : static_cast<double>(lit.int_val);
+          int64_t bits;
+          std::memcpy(&bits, &d, 8);
+          set.insert(bits);
+        } else {
+          set.insert(lit.kind == sql::ExprKind::kFloatLiteral
+                         ? static_cast<int64_t>(lit.float_val)
+                         : lit.int_val);
+        }
+      }
+      std::vector<int64_t> out(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        bool found;
+        if (as_double) {
+          double d = (*probe.dbls)[i];
+          int64_t bits;
+          std::memcpy(&bits, &d, 8);
+          found = set.count(bits) > 0;
+        } else {
+          int64_t x = (*probe.ints)[i];
+          found = x != kNullInt64 && set.count(x) > 0;
+        }
+        out[i] = (found != e.negated) ? 1 : 0;
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    case sql::ExprKind::kIsNull: {
+      VectorData v = EvalExpr(*e.args[0], input, ctx);
+      std::vector<int64_t> out(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        out[i] = (v.IsNull(i) != e.negated) ? 1 : 0;
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    case sql::ExprKind::kStar:
+      JB_THROW("'*' is only valid inside COUNT(*) or SELECT *");
+    case sql::ExprKind::kAggCall:
+      JB_THROW("aggregate outside GROUP BY evaluation: " << e.op);
+    case sql::ExprKind::kWindowAgg:
+      JB_THROW("window aggregate must be pre-computed by the operator");
+  }
+  JB_THROW("unhandled expression kind");
+}
+
+namespace {
+
+VectorData EvalFunc(const sql::Expr& e, const ExecTable& input,
+                    EvalContext& ctx) {
+  const size_t rows = input.rows;
+  const std::string& f = e.op;
+  auto unary_double = [&](double (*fn)(double)) {
+    VectorData v = EvalExpr(*e.args[0], input, ctx);
+    std::vector<double> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double x = NullSafeToDouble(v, i);
+      out[i] = IsNullFloat64(x) ? NullFloat64() : fn(x);
+    }
+    return VectorData::FromDoubles(std::move(out));
+  };
+  if (f == "LOG" || f == "LN") {
+    return unary_double([](double x) { return std::log(x); });
+  }
+  if (f == "EXP") return unary_double([](double x) { return std::exp(x); });
+  if (f == "SQRT") return unary_double([](double x) { return std::sqrt(x); });
+  if (f == "ABS") return unary_double([](double x) { return std::fabs(x); });
+  if (f == "SIGN") {
+    return unary_double(
+        [](double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); });
+  }
+  if (f == "FLOOR") {
+    VectorData v = EvalExpr(*e.args[0], input, ctx);
+    std::vector<int64_t> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double x = NullSafeToDouble(v, i);
+      out[i] = IsNullFloat64(x) ? kNullInt64
+                                : static_cast<int64_t>(std::floor(x));
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "CEIL") {
+    VectorData v = EvalExpr(*e.args[0], input, ctx);
+    std::vector<int64_t> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double x = NullSafeToDouble(v, i);
+      out[i] =
+          IsNullFloat64(x) ? kNullInt64 : static_cast<int64_t>(std::ceil(x));
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "INT") {
+    VectorData v = EvalExpr(*e.args[0], input, ctx);
+    std::vector<int64_t> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double x = NullSafeToDouble(v, i);
+      out[i] = IsNullFloat64(x) ? kNullInt64 : static_cast<int64_t>(x);
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "POW" || f == "POWER") {
+    VectorData a = EvalExpr(*e.args[0], input, ctx);
+    VectorData b = EvalExpr(*e.args[1], input, ctx);
+    std::vector<double> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      out[i] = std::pow(NullSafeToDouble(a, i), NullSafeToDouble(b, i));
+    }
+    return VectorData::FromDoubles(std::move(out));
+  }
+  if (f == "MOD") {
+    VectorData a = EvalExpr(*e.args[0], input, ctx);
+    VectorData b = EvalExpr(*e.args[1], input, ctx);
+    std::vector<int64_t> out(rows);
+    const auto& x = a.Ints();
+    const auto& y = b.Ints();
+    for (size_t i = 0; i < rows; ++i) {
+      if (x[i] == kNullInt64 || y[i] == kNullInt64 || y[i] == 0) {
+        out[i] = kNullInt64;
+      } else {
+        int64_t m = x[i] % y[i];
+        out[i] = m < 0 ? m + std::abs(y[i]) : m;
+      }
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "HASH") {
+    // HASH(x[, seed]) — deterministic 63-bit hash; used for RF row sampling.
+    VectorData a = EvalExpr(*e.args[0], input, ctx);
+    int64_t seed = 0;
+    if (e.args.size() > 1 && e.args[1]->kind == sql::ExprKind::kIntLiteral) {
+      seed = e.args[1]->int_val;
+    }
+    std::vector<int64_t> out(rows);
+    const auto& x = a.Ints();
+    for (size_t i = 0; i < rows; ++i) {
+      out[i] = static_cast<int64_t>(
+          SplitMix64(static_cast<uint64_t>(x[i]) ^
+                     SplitMix64(static_cast<uint64_t>(seed))) >>
+          1);
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "COALESCE") {
+    std::vector<VectorData> vs;
+    vs.reserve(e.args.size());
+    for (const auto& a : e.args) vs.push_back(EvalExpr(*a, input, ctx));
+    bool as_double = false;
+    for (const auto& v : vs) as_double |= v.type == TypeId::kFloat64;
+    if (as_double) {
+      std::vector<double> out(rows, NullFloat64());
+      for (size_t i = 0; i < rows; ++i) {
+        for (const auto& v : vs) {
+          double x = NullSafeToDouble(v, i);
+          if (!IsNullFloat64(x)) {
+            out[i] = x;
+            break;
+          }
+        }
+      }
+      return VectorData::FromDoubles(std::move(out));
+    }
+    std::vector<int64_t> out(rows, kNullInt64);
+    for (size_t i = 0; i < rows; ++i) {
+      for (const auto& v : vs) {
+        int64_t x = v.Ints()[i];
+        if (x != kNullInt64) {
+          out[i] = x;
+          break;
+        }
+      }
+    }
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "GREATEST" || f == "LEAST") {
+    VectorData a = EvalExpr(*e.args[0], input, ctx);
+    VectorData b = EvalExpr(*e.args[1], input, ctx);
+    std::vector<double> out(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double x = NullSafeToDouble(a, i);
+      double y = NullSafeToDouble(b, i);
+      out[i] = f == "GREATEST" ? std::max(x, y) : std::min(x, y);
+    }
+    return VectorData::FromDoubles(std::move(out));
+  }
+  JB_THROW("unknown function " << f);
+}
+
+}  // namespace
+
+Value EvalScalar(const sql::Expr& e, const ExecTable& input, size_t row,
+                 EvalContext& ctx) {
+  switch (e.kind) {
+    case sql::ExprKind::kColumnRef: {
+      int idx = input.FindRequired(e.table, e.column);
+      return input.cols[static_cast<size_t>(idx)].data.GetValue(row);
+    }
+    case sql::ExprKind::kIntLiteral:
+      return Value::Int(e.int_val);
+    case sql::ExprKind::kFloatLiteral:
+      return Value::Double(e.float_val);
+    case sql::ExprKind::kStringLiteral:
+      return Value::Str(e.str_val);
+    case sql::ExprKind::kNullLiteral:
+      return Value::Null(TypeId::kFloat64);
+    case sql::ExprKind::kBinary: {
+      const std::string& op = e.op;
+      Value l = EvalScalar(*e.args[0], input, row, ctx);
+      if (op == "AND") {
+        bool lx = !l.null && l.AsDouble() != 0;
+        if (!lx) return Value::Int(0);
+        Value r = EvalScalar(*e.args[1], input, row, ctx);
+        return Value::Int(!r.null && r.AsDouble() != 0 ? 1 : 0);
+      }
+      if (op == "OR") {
+        bool lx = !l.null && l.AsDouble() != 0;
+        if (lx) return Value::Int(1);
+        Value r = EvalScalar(*e.args[1], input, row, ctx);
+        return Value::Int(!r.null && r.AsDouble() != 0 ? 1 : 0);
+      }
+      Value r = EvalScalar(*e.args[1], input, row, ctx);
+      if (l.null || r.null) {
+        if (IsComparison(op)) return Value::Int(0);
+        return Value::Null(TypeId::kFloat64);
+      }
+      if (l.type == TypeId::kString && r.type == TypeId::kString &&
+          IsComparison(op)) {
+        int c = l.s.compare(r.s);
+        bool res = (op == "=" && c == 0) || (op == "<>" && c != 0) ||
+                   (op == "<" && c < 0) || (op == "<=" && c <= 0) ||
+                   (op == ">" && c > 0) || (op == ">=" && c >= 0);
+        return Value::Int(res ? 1 : 0);
+      }
+      double x = l.AsDouble();
+      double y = r.AsDouble();
+      if (IsComparison(op)) {
+        bool res = (op == "=" && x == y) || (op == "<>" && x != y) ||
+                   (op == "<" && x < y) || (op == "<=" && x <= y) ||
+                   (op == ">" && x > y) || (op == ">=" && x >= y);
+        return Value::Int(res ? 1 : 0);
+      }
+      bool as_double = l.type == TypeId::kFloat64 ||
+                       r.type == TypeId::kFloat64 || op == "/";
+      double v = 0;
+      if (op == "+") v = x + y;
+      else if (op == "-") v = x - y;
+      else if (op == "*") v = x * y;
+      else if (op == "/") v = y == 0 ? NullFloat64() : x / y;
+      else if (op == "%") v = std::fmod(x, y);
+      if (as_double) return Value::Double(v);
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case sql::ExprKind::kUnary: {
+      Value v = EvalScalar(*e.args[0], input, row, ctx);
+      if (e.op == "NOT") {
+        return Value::Int((v.null || v.AsDouble() == 0) ? 1 : 0);
+      }
+      if (v.null) return v;
+      if (v.type == TypeId::kFloat64) return Value::Double(-v.d);
+      return Value::Int(-v.i);
+    }
+    case sql::ExprKind::kIsNull: {
+      Value v = EvalScalar(*e.args[0], input, row, ctx);
+      return Value::Int((v.null != e.negated) ? 1 : 0);
+    }
+    default: {
+      // Fall back to a vectorized evaluation over a single gathered row.
+      ExecTable one = input.GatherRows({static_cast<uint32_t>(row)});
+      VectorData v = EvalExpr(e, one, ctx);
+      return v.GetValue(0);
+    }
+  }
+}
+
+std::vector<uint32_t> EvalPredicate(const sql::Expr& e, const ExecTable& input,
+                                    EvalContext& ctx, bool row_mode) {
+  std::vector<uint32_t> out;
+  if (row_mode) {
+    // Tuple-at-a-time evaluation: the genuine cost structure of row engines.
+    for (size_t i = 0; i < input.rows; ++i) {
+      Value v = EvalScalar(e, input, i, ctx);
+      if (!v.null && v.AsDouble() != 0) out.push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+  }
+  VectorData v = EvalExpr(e, input, ctx);
+  const auto& a = v.Ints();
+  out.reserve(input.rows / 4);
+  for (size_t i = 0; i < input.rows; ++i) {
+    if (a[i] != 0 && a[i] != kNullInt64) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+void CollectAggregates(const sql::ExprPtr& e,
+                       std::vector<const sql::Expr*>* out) {
+  if (!e) return;
+  if (e->kind == sql::ExprKind::kAggCall) {
+    out->push_back(e.get());
+    return;  // no nested aggregates
+  }
+  if (e->kind == sql::ExprKind::kWindowAgg) return;
+  for (const auto& a : e->args) CollectAggregates(a, out);
+}
+
+void CollectWindows(const sql::ExprPtr& e,
+                    std::vector<const sql::Expr*>* out) {
+  if (!e) return;
+  if (e->kind == sql::ExprKind::kWindowAgg) {
+    out->push_back(e.get());
+    return;
+  }
+  for (const auto& a : e->args) CollectWindows(a, out);
+}
+
+}  // namespace exec
+}  // namespace joinboost

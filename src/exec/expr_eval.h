@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "exec/vector.h"
+#include "sql/ast.h"
+
+namespace joinboost {
+namespace exec {
+
+/// Context threaded through expression evaluation.
+struct EvalContext {
+  /// Executes an IN/scalar subquery and returns its result.
+  std::function<ExecTable(const sql::SelectStmt&)> run_subquery;
+
+  /// Per-node result overrides: aggregate and window nodes are pre-computed
+  /// by the operators and substituted here during final projection.
+  std::unordered_map<const sql::Expr*, VectorData> overrides;
+};
+
+/// Vectorized evaluation of `e` over `input` (result has input.rows rows;
+/// literals broadcast).
+VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
+                    EvalContext& ctx);
+
+/// Row-at-a-time evaluation (row-store profiles and point lookups).
+Value EvalScalar(const sql::Expr& e, const ExecTable& input, size_t row,
+                 EvalContext& ctx);
+
+/// Evaluate a predicate and return the selected row indices.
+std::vector<uint32_t> EvalPredicate(const sql::Expr& e, const ExecTable& input,
+                                    EvalContext& ctx, bool row_mode);
+
+/// Collect aggregate call nodes (SUM/COUNT/...) reachable without crossing
+/// window or nested aggregate boundaries.
+void CollectAggregates(const sql::ExprPtr& e,
+                       std::vector<const sql::Expr*>* out);
+
+/// Collect window aggregate nodes.
+void CollectWindows(const sql::ExprPtr& e, std::vector<const sql::Expr*>* out);
+
+}  // namespace exec
+}  // namespace joinboost

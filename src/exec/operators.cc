@@ -1,0 +1,677 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "sql/printer.h"
+#include "util/hash.h"
+
+namespace joinboost {
+namespace exec {
+
+namespace {
+
+uint64_t HashCell(const VectorData& v, size_t row) {
+  if (v.type == TypeId::kFloat64) {
+    double d = (*v.dbls)[row];
+    int64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return SplitMix64(static_cast<uint64_t>(bits));
+  }
+  return SplitMix64(static_cast<uint64_t>((*v.ints)[row]));
+}
+
+uint64_t HashRow(const std::vector<const VectorData*>& cols, size_t row) {
+  uint64_t h = 0xABCDEF0123456789ULL;
+  for (const auto* c : cols) h = HashCombine(h, HashCell(*c, row));
+  return h;
+}
+
+/// Row-mode hashing goes through Value materialization — the per-tuple
+/// overhead that makes row engines slower on analytics.
+uint64_t HashRowSlow(const std::vector<const VectorData*>& cols, size_t row) {
+  uint64_t h = 0xABCDEF0123456789ULL;
+  for (const auto* c : cols) {
+    Value v = c->GetValue(row);
+    uint64_t cell = v.type == TypeId::kFloat64
+                        ? [&] {
+                            int64_t bits;
+                            std::memcpy(&bits, &v.d, 8);
+                            return static_cast<uint64_t>(bits);
+                          }()
+                        : static_cast<uint64_t>(v.i);
+    h = HashCombine(h, SplitMix64(cell));
+  }
+  return h;
+}
+
+bool CellsEqual(const VectorData& a, size_t ra, const VectorData& b,
+                size_t rb) {
+  if (a.type == TypeId::kFloat64 || b.type == TypeId::kFloat64) {
+    double x = a.type == TypeId::kFloat64
+                   ? (*a.dbls)[ra]
+                   : static_cast<double>((*a.ints)[ra]);
+    double y = b.type == TypeId::kFloat64
+                   ? (*b.dbls)[rb]
+                   : static_cast<double>((*b.ints)[rb]);
+    int64_t bx, by;
+    std::memcpy(&bx, &x, 8);
+    std::memcpy(&by, &y, 8);
+    return bx == by;  // bit equality: NaN groups with NaN
+  }
+  return (*a.ints)[ra] == (*b.ints)[rb];
+}
+
+bool RowsEqual(const std::vector<const VectorData*>& a, size_t ra,
+               const std::vector<const VectorData*>& b, size_t rb) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!CellsEqual(*a[i], ra, *b[i], rb)) return false;
+  }
+  return true;
+}
+
+/// Gather with a null mask: idx entries equal to UINT32_MAX produce NULLs.
+VectorData GatherWithNulls(const VectorData& v,
+                           const std::vector<uint32_t>& idx) {
+  VectorData out;
+  out.type = v.type;
+  out.dict = v.dict;
+  if (v.type == TypeId::kFloat64) {
+    std::vector<double> data;
+    data.reserve(idx.size());
+    for (uint32_t i : idx) {
+      data.push_back(i == UINT32_MAX ? NullFloat64() : (*v.dbls)[i]);
+    }
+    out.dbls = std::make_shared<const std::vector<double>>(std::move(data));
+  } else {
+    std::vector<int64_t> data;
+    data.reserve(idx.size());
+    for (uint32_t i : idx) {
+      data.push_back(i == UINT32_MAX ? kNullInt64 : (*v.ints)[i]);
+    }
+    out.ints = std::make_shared<const std::vector<int64_t>>(std::move(data));
+  }
+  return out;
+}
+
+}  // namespace
+
+ExecTable ScanTable(const Table& table, const std::string& qualifier,
+                    const OpContext& ctx) {
+  ExecTable out;
+  out.rows = table.num_rows();
+  out.cols.reserve(table.num_columns());
+  const bool pay_interop = ctx.interop_scan && table.dataframe();
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const auto& col = table.column(i);
+    VectorData v;
+    v.type = col->type();
+    v.dict = col->dict();
+    if (col->encoded()) {
+      // Real decompression cost, like any compressed columnar engine.
+      if (col->type() == TypeId::kFloat64) {
+        v.dbls = std::make_shared<const std::vector<double>>(
+            col->DecodeDoubles());
+      } else {
+        v.ints =
+            std::make_shared<const std::vector<int64_t>>(col->DecodeInts());
+      }
+    } else if (pay_interop) {
+      // DP mode: the dataframe scan converts values element-by-element with
+      // null checks, like DuckDB's Pandas scan operator.
+      if (col->type() == TypeId::kFloat64) {
+        const auto& src = *col->PlainDoubles();
+        std::vector<double> dst(src.size());
+        for (size_t r = 0; r < src.size(); ++r) {
+          double x = src[r];
+          dst[r] = IsNullFloat64(x) ? NullFloat64() : x;
+        }
+        v.dbls = std::make_shared<const std::vector<double>>(std::move(dst));
+      } else {
+        const auto& src = *col->PlainInts();
+        std::vector<int64_t> dst(src.size());
+        for (size_t r = 0; r < src.size(); ++r) {
+          int64_t x = src[r];
+          dst[r] = x == kNullInt64 ? kNullInt64 : x;
+        }
+        v.ints = std::make_shared<const std::vector<int64_t>>(std::move(dst));
+      }
+    } else {
+      // Zero-copy share of the plain payload.
+      if (col->type() == TypeId::kFloat64) {
+        v.dbls = col->PlainDoubles();
+      } else {
+        v.ints = col->PlainInts();
+      }
+    }
+    out.cols.push_back({qualifier, table.schema().field(i).name, std::move(v)});
+  }
+  return out;
+}
+
+ExecTable FilterExec(const ExecTable& input, const sql::Expr& pred,
+                     EvalContext& ectx, const OpContext& ctx) {
+  std::vector<uint32_t> sel = EvalPredicate(pred, input, ectx, ctx.row_mode);
+  return input.GatherRows(sel);
+}
+
+ExecTable ConcatColumns(ExecTable left, ExecTable right) {
+  JB_CHECK(left.rows == right.rows);
+  for (auto& c : right.cols) left.cols.push_back(std::move(c));
+  return left;
+}
+
+ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys, sql::JoinType type,
+                       const OpContext& ctx) {
+  JB_CHECK(left_keys.size() == right_keys.size() && !left_keys.empty());
+  std::vector<const VectorData*> lk, rk;
+  for (int k : left_keys) lk.push_back(&left.cols[static_cast<size_t>(k)].data);
+  for (int k : right_keys) {
+    rk.push_back(&right.cols[static_cast<size_t>(k)].data);
+  }
+  for (size_t i = 0; i < lk.size(); ++i) {
+    JB_CHECK_MSG(!(lk[i]->type == TypeId::kString &&
+                   rk[i]->type == TypeId::kString && lk[i]->dict &&
+                   rk[i]->dict && lk[i]->dict != rk[i]->dict),
+                 "join on string columns with different dictionaries is not "
+                 "supported; re-encode first");
+  }
+
+  // Build on the right input (messages / dimension tables are small).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(right.rows * 2);
+  for (size_t r = 0; r < right.rows; ++r) {
+    uint64_t h = ctx.row_mode ? HashRowSlow(rk, r) : HashRow(rk, r);
+    buckets[h].push_back(static_cast<uint32_t>(r));
+  }
+
+  const bool is_semi = type == sql::JoinType::kSemi;
+  const bool is_anti = type == sql::JoinType::kAnti;
+  const bool is_left = type == sql::JoinType::kLeft;
+
+  auto probe_range = [&](size_t begin, size_t end,
+                         std::vector<uint32_t>* lidx,
+                         std::vector<uint32_t>* ridx) {
+    for (size_t l = begin; l < end; ++l) {
+      uint64_t h = ctx.row_mode ? HashRowSlow(lk, l) : HashRow(lk, l);
+      auto it = buckets.find(h);
+      bool matched = false;
+      if (it != buckets.end()) {
+        for (uint32_t r : it->second) {
+          if (RowsEqual(lk, l, rk, r)) {
+            matched = true;
+            if (is_semi || is_anti) break;
+            lidx->push_back(static_cast<uint32_t>(l));
+            ridx->push_back(r);
+          }
+        }
+      }
+      if ((is_semi && matched) || (is_anti && !matched)) {
+        lidx->push_back(static_cast<uint32_t>(l));
+      } else if (is_left && !matched) {
+        lidx->push_back(static_cast<uint32_t>(l));
+        ridx->push_back(UINT32_MAX);
+      }
+    }
+  };
+
+  std::vector<uint32_t> lidx, ridx;
+  const size_t kParallelCutoff = 65536;
+  if (ctx.pool && ctx.threads > 1 && left.rows >= kParallelCutoff &&
+      !ctx.row_mode) {
+    size_t t = static_cast<size_t>(ctx.threads);
+    std::vector<std::vector<uint32_t>> lparts(t), rparts(t);
+    size_t chunk = (left.rows + t - 1) / t;
+    ctx.pool->ParallelFor(t, [&](size_t i) {
+      size_t begin = i * chunk;
+      size_t end = std::min(left.rows, begin + chunk);
+      if (begin < end) probe_range(begin, end, &lparts[i], &rparts[i]);
+    });
+    for (size_t i = 0; i < t; ++i) {
+      lidx.insert(lidx.end(), lparts[i].begin(), lparts[i].end());
+      ridx.insert(ridx.end(), rparts[i].begin(), rparts[i].end());
+    }
+  } else {
+    probe_range(0, left.rows, &lidx, &ridx);
+  }
+
+  if (is_semi || is_anti) return left.GatherRows(lidx);
+
+  ExecTable out;
+  out.rows = lidx.size();
+  out.cols.reserve(left.cols.size() + right.cols.size());
+  for (const auto& c : left.cols) {
+    out.cols.push_back({c.qualifier, c.name, c.data.Gather(lidx)});
+  }
+  for (const auto& c : right.cols) {
+    out.cols.push_back({c.qualifier, c.name, GatherWithNulls(c.data, ridx)});
+  }
+  return out;
+}
+
+GroupResult GroupRows(const ExecTable& input, const std::vector<int>& key_cols,
+                      const OpContext& ctx) {
+  GroupResult res;
+  res.group_ids.resize(input.rows);
+  std::vector<const VectorData*> keys;
+  for (int k : key_cols) keys.push_back(&input.cols[static_cast<size_t>(k)].data);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  for (size_t r = 0; r < input.rows; ++r) {
+    uint64_t h = ctx.row_mode ? HashRowSlow(keys, r) : HashRow(keys, r);
+    auto& bucket = buckets[h];
+    uint32_t gid = UINT32_MAX;
+    for (uint32_t g : bucket) {
+      if (RowsEqual(keys, r, keys, res.representatives[g])) {
+        gid = g;
+        break;
+      }
+    }
+    if (gid == UINT32_MAX) {
+      gid = static_cast<uint32_t>(res.representatives.size());
+      res.representatives.push_back(static_cast<uint32_t>(r));
+      bucket.push_back(gid);
+    }
+    res.group_ids[r] = gid;
+  }
+  res.num_groups = res.representatives.size();
+  return res;
+}
+
+namespace {
+
+struct AggAccum {
+  std::vector<double> dsum;
+  std::vector<int64_t> isum;
+  std::vector<int64_t> count;
+  std::vector<double> dmin;
+  std::vector<double> dmax;
+  bool int_sum = false;
+};
+
+/// Aggregate one partition of rows into per-group accumulators.
+void Accumulate(const std::vector<AggSpec>& aggs,
+                const std::vector<VectorData>& arg_vals,
+                const std::vector<uint32_t>& group_ids,
+                const std::vector<uint32_t>& rows, size_t num_groups,
+                std::vector<AggAccum>* accums) {
+  accums->resize(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    AggAccum& acc = (*accums)[a];
+    const std::string& f = aggs[a].func;
+    acc.count.assign(num_groups, 0);
+    if (f == "MIN" || f == "MAX") {
+      acc.dmin.assign(num_groups, std::numeric_limits<double>::infinity());
+      acc.dmax.assign(num_groups, -std::numeric_limits<double>::infinity());
+    }
+    if (f == "SUM" || f == "AVG") {
+      const VectorData& v = arg_vals[a];
+      acc.int_sum = f == "SUM" && v.type != TypeId::kFloat64;
+      if (acc.int_sum) {
+        acc.isum.assign(num_groups, 0);
+      } else {
+        acc.dsum.assign(num_groups, 0.0);
+      }
+    }
+    if (f == "COUNT" && aggs[a].arg == nullptr) {
+      for (uint32_t r : rows) ++acc.count[group_ids[r]];
+      continue;
+    }
+    const VectorData& v = arg_vals[a];
+    for (uint32_t r : rows) {
+      if (v.IsNull(r)) continue;
+      uint32_t g = group_ids[r];
+      ++acc.count[g];
+      if (f == "SUM" || f == "AVG") {
+        if (acc.int_sum) {
+          acc.isum[g] += (*v.ints)[r];
+        } else {
+          acc.dsum[g] += v.type == TypeId::kFloat64
+                             ? (*v.dbls)[r]
+                             : static_cast<double>((*v.ints)[r]);
+        }
+      } else if (f == "MIN" || f == "MAX") {
+        double x = v.type == TypeId::kFloat64
+                       ? (*v.dbls)[r]
+                       : static_cast<double>((*v.ints)[r]);
+        acc.dmin[g] = std::min(acc.dmin[g], x);
+        acc.dmax[g] = std::max(acc.dmax[g], x);
+      }
+    }
+  }
+}
+
+VectorData FinishAgg(const AggSpec& spec, const AggAccum& acc,
+                     const VectorData* arg, size_t num_groups) {
+  const std::string& f = spec.func;
+  if (f == "COUNT") {
+    std::vector<int64_t> out(acc.count.begin(), acc.count.end());
+    return VectorData::FromInts(std::move(out));
+  }
+  if (f == "SUM") {
+    if (acc.int_sum) {
+      std::vector<int64_t> out(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        out[g] = acc.count[g] == 0 ? kNullInt64 : acc.isum[g];
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    std::vector<double> out(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      out[g] = acc.count[g] == 0 ? NullFloat64() : acc.dsum[g];
+    }
+    return VectorData::FromDoubles(std::move(out));
+  }
+  if (f == "AVG") {
+    std::vector<double> out(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      out[g] = acc.count[g] == 0
+                   ? NullFloat64()
+                   : acc.dsum[g] / static_cast<double>(acc.count[g]);
+    }
+    return VectorData::FromDoubles(std::move(out));
+  }
+  if (f == "MIN" || f == "MAX") {
+    const auto& src = f == "MIN" ? acc.dmin : acc.dmax;
+    if (arg && arg->type != TypeId::kFloat64) {
+      std::vector<int64_t> out(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        out[g] = acc.count[g] == 0 ? kNullInt64
+                                   : static_cast<int64_t>(src[g]);
+      }
+      return VectorData::FromInts(std::move(out));
+    }
+    std::vector<double> out(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      out[g] = acc.count[g] == 0 ? NullFloat64() : src[g];
+    }
+    return VectorData::FromDoubles(std::move(out));
+  }
+  JB_THROW("unknown aggregate " << f);
+}
+
+}  // namespace
+
+ExecTable HashAggExec(const ExecTable& input,
+                      const std::vector<sql::ExprPtr>& group_by,
+                      const std::vector<AggSpec>& aggs, EvalContext& ectx,
+                      const OpContext& ctx,
+                      std::vector<VectorData>* agg_outputs) {
+  // 1. Evaluate key expressions and aggregate arguments.
+  std::vector<VectorData> key_vals;
+  key_vals.reserve(group_by.size());
+  for (const auto& g : group_by) key_vals.push_back(EvalExpr(*g, input, ectx));
+  std::vector<VectorData> arg_vals(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg != nullptr) {
+      arg_vals[a] = EvalExpr(*aggs[a].arg, input, ectx);
+    }
+  }
+
+  // 2. Group.
+  ExecTable key_table;
+  key_table.rows = input.rows;
+  for (size_t i = 0; i < key_vals.size(); ++i) {
+    const sql::Expr& g = *group_by[i];
+    std::string qual = g.kind == sql::ExprKind::kColumnRef ? g.table : "";
+    std::string name = g.kind == sql::ExprKind::kColumnRef
+                           ? g.column
+                           : ("__group" + std::to_string(i));
+    key_table.cols.push_back({qual, name, key_vals[i]});
+  }
+
+  GroupResult groups;
+  size_t num_groups = 0;
+  std::vector<uint32_t> all_rows(input.rows);
+  for (size_t i = 0; i < input.rows; ++i) all_rows[i] = static_cast<uint32_t>(i);
+
+  std::vector<AggAccum> accums;
+  if (group_by.empty()) {
+    // Global aggregation: one group.
+    num_groups = 1;
+    groups.group_ids.assign(input.rows, 0);
+    groups.num_groups = 1;
+    Accumulate(aggs, arg_vals, groups.group_ids, all_rows, 1, &accums);
+  } else {
+    std::vector<int> key_cols;
+    for (size_t i = 0; i < key_vals.size(); ++i) {
+      key_cols.push_back(static_cast<int>(i));
+    }
+    const size_t kParallelCutoff = 65536;
+    if (ctx.pool && ctx.threads > 1 && input.rows >= kParallelCutoff &&
+        !ctx.row_mode) {
+      // Radix-partition by key hash, then group+aggregate partitions in
+      // parallel and concatenate (intra-query parallelism, §5.5.3).
+      size_t P = static_cast<size_t>(ctx.threads);
+      std::vector<const VectorData*> keys;
+      for (const auto& kv : key_vals) keys.push_back(&kv);
+      std::vector<uint64_t> hashes(input.rows);
+      size_t chunk = (input.rows + P - 1) / P;
+      ctx.pool->ParallelFor(P, [&](size_t t) {
+        size_t begin = t * chunk, end = std::min(input.rows, begin + chunk);
+        for (size_t r = begin; r < end; ++r) hashes[r] = HashRow(keys, r);
+      });
+      std::vector<std::vector<uint32_t>> parts(P);
+      for (size_t r = 0; r < input.rows; ++r) {
+        parts[hashes[r] % P].push_back(static_cast<uint32_t>(r));
+      }
+      struct PartResult {
+        std::vector<uint32_t> reps;
+        std::vector<AggAccum> accums;
+      };
+      std::vector<PartResult> results(P);
+      ctx.pool->ParallelFor(P, [&](size_t p) {
+        const auto& rows = parts[p];
+        std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+        std::vector<uint32_t> reps;
+        std::vector<uint32_t> gids(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          uint32_t r = rows[i];
+          auto& bucket = buckets[hashes[r]];
+          uint32_t gid = UINT32_MAX;
+          for (uint32_t g : bucket) {
+            if (RowsEqual(keys, r, keys, reps[g])) {
+              gid = g;
+              break;
+            }
+          }
+          if (gid == UINT32_MAX) {
+            gid = static_cast<uint32_t>(reps.size());
+            reps.push_back(r);
+            bucket.push_back(gid);
+          }
+          gids[i] = gid;
+        }
+        // Remap per-partition group ids onto partition-local accumulators.
+        std::vector<uint32_t> full_gids(input.rows, 0);
+        for (size_t i = 0; i < rows.size(); ++i) full_gids[rows[i]] = gids[i];
+        Accumulate(aggs, arg_vals, full_gids, rows, reps.size(),
+                   &results[p].accums);
+        results[p].reps = std::move(reps);
+      });
+      // Concatenate partitions.
+      std::vector<uint32_t> reps;
+      for (auto& pr : results) {
+        reps.insert(reps.end(), pr.reps.begin(), pr.reps.end());
+      }
+      num_groups = reps.size();
+      accums.resize(aggs.size());
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        AggAccum& dst = accums[a];
+        dst.int_sum = aggs[a].func == "SUM" &&
+                      (aggs[a].arg == nullptr ||
+                       arg_vals[a].type != TypeId::kFloat64);
+        size_t offset = 0;
+        dst.count.assign(num_groups, 0);
+        dst.dsum.assign(num_groups, 0.0);
+        dst.isum.assign(num_groups, 0);
+        dst.dmin.assign(num_groups, std::numeric_limits<double>::infinity());
+        dst.dmax.assign(num_groups, -std::numeric_limits<double>::infinity());
+        for (auto& pr : results) {
+          const AggAccum& src = pr.accums[a];
+          for (size_t g = 0; g < pr.reps.size(); ++g) {
+            dst.count[offset + g] = src.count[g];
+            if (!src.dsum.empty()) dst.dsum[offset + g] = src.dsum[g];
+            if (!src.isum.empty()) dst.isum[offset + g] = src.isum[g];
+            if (!src.dmin.empty()) dst.dmin[offset + g] = src.dmin[g];
+            if (!src.dmax.empty()) dst.dmax[offset + g] = src.dmax[g];
+          }
+          offset += pr.reps.size();
+        }
+      }
+      groups.representatives = std::move(reps);
+      groups.num_groups = num_groups;
+    } else {
+      groups = GroupRows(key_table, key_cols, ctx);
+      num_groups = groups.num_groups;
+      Accumulate(aggs, arg_vals, groups.group_ids, all_rows, num_groups,
+                 &accums);
+    }
+  }
+
+  // 3. Build output: key columns (representative rows) + aggregate columns.
+  ExecTable out;
+  out.rows = num_groups;
+  if (!group_by.empty()) {
+    for (size_t i = 0; i < key_table.cols.size(); ++i) {
+      out.cols.push_back(
+          {key_table.cols[i].qualifier, key_table.cols[i].name,
+           key_table.cols[i].data.Gather(groups.representatives)});
+    }
+  }
+  agg_outputs->clear();
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    VectorData v = FinishAgg(aggs[a], accums[a],
+                             aggs[a].arg ? &arg_vals[a] : nullptr, num_groups);
+    agg_outputs->push_back(v);
+    out.cols.push_back({"", "__agg" + std::to_string(a), std::move(v)});
+  }
+  return out;
+}
+
+ExecTable SortExec(const ExecTable& input,
+                   const std::vector<sql::OrderItem>& order,
+                   EvalContext& ectx) {
+  std::vector<VectorData> keys;
+  keys.reserve(order.size());
+  for (const auto& o : order) keys.push_back(EvalExpr(*o.expr, input, ectx));
+  std::vector<uint32_t> idx(input.rows);
+  for (size_t i = 0; i < input.rows; ++i) idx[i] = static_cast<uint32_t>(i);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const VectorData& v = keys[k];
+      int cmp = 0;
+      if (v.type == TypeId::kString && v.dict) {
+        int64_t ca = (*v.ints)[a];
+        int64_t cb = (*v.ints)[b];
+        if (ca == kNullInt64 || cb == kNullInt64) {
+          cmp = (ca == cb) ? 0 : (ca == kNullInt64 ? 1 : -1);  // nulls last
+        } else {
+          cmp = v.dict->At(ca).compare(v.dict->At(cb));
+          cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+        }
+      } else {
+        double x = v.type == TypeId::kFloat64
+                       ? (*v.dbls)[a]
+                       : static_cast<double>((*v.ints)[a]);
+        double y = v.type == TypeId::kFloat64
+                       ? (*v.dbls)[b]
+                       : static_cast<double>((*v.ints)[b]);
+        bool nx = v.IsNull(a), ny = v.IsNull(b);
+        if (nx || ny) {
+          cmp = (nx == ny) ? 0 : (nx ? 1 : -1);
+        } else {
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+        }
+      }
+      if (cmp != 0) return order[k].desc ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  return input.GatherRows(idx);
+}
+
+ExecTable LimitExec(const ExecTable& input, int64_t limit) {
+  if (limit < 0 || static_cast<size_t>(limit) >= input.rows) return input;
+  std::vector<uint32_t> idx(static_cast<size_t>(limit));
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+  return input.GatherRows(idx);
+}
+
+VectorData WindowExec(const ExecTable& input, const sql::Expr& win,
+                      EvalContext& ectx) {
+  JB_CHECK_MSG(win.op == "SUM" || win.op == "COUNT" || win.op == "AVG",
+               "window function " << win.op << " not supported");
+  // Partition.
+  std::vector<uint32_t> part_ids(input.rows, 0);
+  size_t num_parts = 1;
+  if (!win.partition_by.empty()) {
+    ExecTable pt;
+    pt.rows = input.rows;
+    std::vector<int> cols;
+    for (size_t i = 0; i < win.partition_by.size(); ++i) {
+      pt.cols.push_back(
+          {"", "p" + std::to_string(i), EvalExpr(*win.partition_by[i], input, ectx)});
+      cols.push_back(static_cast<int>(i));
+    }
+    OpContext octx;
+    GroupResult gr = GroupRows(pt, cols, octx);
+    part_ids = std::move(gr.group_ids);
+    num_parts = gr.num_groups;
+  }
+  // Order.
+  std::vector<VectorData> order_keys;
+  for (const auto& o : win.order_by) {
+    order_keys.push_back(EvalExpr(*o, input, ectx));
+  }
+  std::vector<uint32_t> idx(input.rows);
+  for (size_t i = 0; i < input.rows; ++i) idx[i] = static_cast<uint32_t>(i);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    if (part_ids[a] != part_ids[b]) return part_ids[a] < part_ids[b];
+    for (const auto& v : order_keys) {
+      double x = v.type == TypeId::kFloat64 ? (*v.dbls)[a]
+                                            : static_cast<double>((*v.ints)[a]);
+      double y = v.type == TypeId::kFloat64 ? (*v.dbls)[b]
+                                            : static_cast<double>((*v.ints)[b]);
+      if (x < y) return true;
+      if (x > y) return false;
+    }
+    return false;
+  });
+  // Argument values.
+  VectorData arg;
+  bool count_star = win.op == "COUNT" &&
+                    (win.args.empty() || win.args[0]->kind == sql::ExprKind::kStar);
+  if (!count_star) arg = EvalExpr(*win.args[0], input, ectx);
+  // Cumulative aggregate in sorted order within partitions.
+  std::vector<double> out(input.rows, 0.0);
+  (void)num_parts;
+  double run = 0.0;
+  int64_t cnt = 0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    uint32_t r = idx[i];
+    if (i == 0 || part_ids[r] != part_ids[idx[i - 1]]) {
+      run = 0.0;
+      cnt = 0;
+    }
+    if (count_star) {
+      ++cnt;
+      out[r] = static_cast<double>(cnt);
+    } else {
+      if (!arg.IsNull(r)) {
+        run += arg.type == TypeId::kFloat64
+                   ? (*arg.dbls)[r]
+                   : static_cast<double>((*arg.ints)[r]);
+        ++cnt;
+      }
+      out[r] = win.op == "AVG" && cnt > 0 ? run / static_cast<double>(cnt) : run;
+    }
+  }
+  return VectorData::FromDoubles(std::move(out));
+}
+
+}  // namespace exec
+}  // namespace joinboost

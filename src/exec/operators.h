@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/vector.h"
+#include "sql/ast.h"
+#include "storage/engine_profile.h"
+#include "storage/table.h"
+#include "util/threadpool.h"
+
+namespace joinboost {
+namespace exec {
+
+/// Options threaded into operators from the engine profile.
+struct OpContext {
+  bool row_mode = false;       ///< tuple-at-a-time execution (X-row)
+  int threads = 1;             ///< intra-query parallelism
+  ThreadPool* pool = nullptr;  ///< shared pool (may be null -> sequential)
+  bool interop_scan = false;   ///< dataframe scans pay an extra copy (DP)
+};
+
+/// Scan a base table into an ExecTable. Compressed columns are decompressed
+/// (real CPU); dataframe tables additionally pay the interop materialization
+/// pass when `ctx.interop_scan` is set (paper §5.4, DP mode).
+ExecTable ScanTable(const Table& table, const std::string& qualifier,
+                    const OpContext& ctx);
+
+/// Keep the rows selected by `pred`.
+ExecTable FilterExec(const ExecTable& input, const sql::Expr& pred,
+                     EvalContext& ectx, const OpContext& ctx);
+
+/// Hash join. `left_keys`/`right_keys` index into the inputs' columns.
+/// Inner and left-outer produce concatenated schemas; semi/anti return the
+/// filtered left input.
+ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys, sql::JoinType type,
+                       const OpContext& ctx);
+
+/// One aggregate in a grouped select.
+struct AggSpec {
+  const sql::Expr* node = nullptr;  ///< AST node (identity for overrides)
+  std::string func;                 ///< SUM/COUNT/AVG/MIN/MAX
+  const sql::Expr* arg = nullptr;   ///< nullptr for COUNT(*)
+};
+
+/// Result of grouping: ids and representatives, shared between the hash
+/// aggregate and ancestral sampling.
+struct GroupResult {
+  std::vector<uint32_t> group_ids;         ///< per input row
+  std::vector<uint32_t> representatives;   ///< one input row per group
+  size_t num_groups = 0;
+};
+
+/// Group rows by the given key columns.
+GroupResult GroupRows(const ExecTable& input, const std::vector<int>& key_cols,
+                      const OpContext& ctx);
+
+/// Hash aggregation: evaluates key exprs + aggregates; output columns are
+/// [keys..., one column per AggSpec] and the override map is filled so the
+/// caller can project arbitrary expressions over aggregate results.
+ExecTable HashAggExec(const ExecTable& input,
+                      const std::vector<sql::ExprPtr>& group_by,
+                      const std::vector<AggSpec>& aggs, EvalContext& ectx,
+                      const OpContext& ctx,
+                      std::vector<VectorData>* agg_outputs);
+
+/// Sort by order items (expressions evaluated against `input`).
+ExecTable SortExec(const ExecTable& input,
+                   const std::vector<sql::OrderItem>& order, EvalContext& ectx);
+
+ExecTable LimitExec(const ExecTable& input, int64_t limit);
+
+/// Compute a window aggregate (currently SUM/COUNT/AVG OVER (PARTITION BY
+/// ... ORDER BY ...)) returning one value per input row in input order.
+VectorData WindowExec(const ExecTable& input, const sql::Expr& win,
+                      EvalContext& ectx);
+
+/// Concatenate two exec tables' columns (used by joins).
+ExecTable ConcatColumns(ExecTable left, ExecTable right);
+
+}  // namespace exec
+}  // namespace joinboost

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+#include "util/check.h"
+
+namespace joinboost {
+namespace exec {
+
+/// A read-only column vector flowing between operators. Payloads are shared
+/// so scans of uncompressed columns are zero-copy.
+struct VectorData {
+  TypeId type = TypeId::kInt64;
+  std::shared_ptr<const std::vector<int64_t>> ints;  ///< int64 / dict codes
+  std::shared_ptr<const std::vector<double>> dbls;
+  DictionaryPtr dict;
+
+  size_t size() const {
+    if (type == TypeId::kFloat64) return dbls ? dbls->size() : 0;
+    return ints ? ints->size() : 0;
+  }
+
+  const std::vector<int64_t>& Ints() const {
+    JB_CHECK(type != TypeId::kFloat64 && ints);
+    return *ints;
+  }
+  const std::vector<double>& Dbls() const {
+    JB_CHECK(type == TypeId::kFloat64 && dbls);
+    return *dbls;
+  }
+
+  static VectorData FromInts(std::vector<int64_t> v) {
+    VectorData out;
+    out.type = TypeId::kInt64;
+    out.ints = std::make_shared<const std::vector<int64_t>>(std::move(v));
+    return out;
+  }
+  static VectorData FromDoubles(std::vector<double> v) {
+    VectorData out;
+    out.type = TypeId::kFloat64;
+    out.dbls = std::make_shared<const std::vector<double>>(std::move(v));
+    return out;
+  }
+  static VectorData FromCodes(std::vector<int64_t> codes, DictionaryPtr dict) {
+    VectorData out;
+    out.type = TypeId::kString;
+    out.ints = std::make_shared<const std::vector<int64_t>>(std::move(codes));
+    out.dict = std::move(dict);
+    return out;
+  }
+
+  Value GetValue(size_t row) const {
+    switch (type) {
+      case TypeId::kInt64:
+        return Value::Int((*ints)[row]);
+      case TypeId::kFloat64:
+        return Value::Double((*dbls)[row]);
+      case TypeId::kString: {
+        int64_t code = (*ints)[row];
+        if (code == kNullInt64) return Value::Null(TypeId::kString);
+        Value v = Value::Str(dict->At(code));
+        v.i = code;
+        return v;
+      }
+    }
+    return Value::Null(type);
+  }
+
+  /// Materialize a subset (or permutation) of rows.
+  VectorData Gather(const std::vector<uint32_t>& idx) const {
+    VectorData out;
+    out.type = type;
+    out.dict = dict;
+    if (type == TypeId::kFloat64) {
+      std::vector<double> v;
+      v.reserve(idx.size());
+      const auto& src = *dbls;
+      for (uint32_t i : idx) v.push_back(src[i]);
+      out.dbls = std::make_shared<const std::vector<double>>(std::move(v));
+    } else {
+      std::vector<int64_t> v;
+      v.reserve(idx.size());
+      const auto& src = *ints;
+      for (uint32_t i : idx) v.push_back(src[i]);
+      out.ints = std::make_shared<const std::vector<int64_t>>(std::move(v));
+    }
+    return out;
+  }
+
+  bool IsNull(size_t row) const {
+    if (type == TypeId::kFloat64) return IsNullFloat64((*dbls)[row]);
+    return (*ints)[row] == kNullInt64;
+  }
+};
+
+/// One named output column; `qualifier` is the table alias it came from.
+struct ExecColumn {
+  std::string qualifier;
+  std::string name;
+  VectorData data;
+};
+
+/// Materialized intermediate relation.
+struct ExecTable {
+  std::vector<ExecColumn> cols;
+  size_t rows = 0;
+
+  /// Resolve a (possibly qualified) column. Returns -1 when absent.
+  /// Unqualified lookups take the first match (generated SQL qualifies
+  /// wherever ambiguity is possible).
+  int Find(const std::string& qualifier, const std::string& name) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (!qualifier.empty() && cols[i].qualifier != qualifier) continue;
+      if (cols[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int FindRequired(const std::string& qualifier, const std::string& name) const {
+    int idx = Find(qualifier, name);
+    JB_CHECK_MSG(idx >= 0, "column not found: "
+                               << (qualifier.empty() ? "" : qualifier + ".")
+                               << name);
+    return idx;
+  }
+
+  const VectorData& Col(size_t i) const { return cols.at(i).data; }
+
+  ExecTable GatherRows(const std::vector<uint32_t>& idx) const {
+    ExecTable out;
+    out.rows = idx.size();
+    out.cols.reserve(cols.size());
+    for (const auto& c : cols) {
+      out.cols.push_back({c.qualifier, c.name, c.data.Gather(idx)});
+    }
+    return out;
+  }
+
+  Value GetValue(size_t row, size_t col) const {
+    return cols.at(col).data.GetValue(row);
+  }
+};
+
+}  // namespace exec
+}  // namespace joinboost

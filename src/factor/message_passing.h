@@ -1,0 +1,155 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/engine.h"
+#include "graph/join_graph.h"
+#include "semiring/semiring.h"
+
+namespace joinboost {
+namespace factor {
+
+/// How a base relation participates in semi-ring aggregation.
+struct RelationBinding {
+  std::string table;       ///< physical (lifted-copy) table name in the DB
+  bool annotated = false;  ///< carries the linear component column(s)
+  bool has_c = false;      ///< explicit count/weight column (cuboids); else 1
+  std::string c_col = "c";
+  std::string s_col = "s";
+  std::string q_col = "q";
+};
+
+/// Per-tree-node selection predicates: relation id → conjunction of SQL
+/// predicate strings over that relation's columns. The signature of the
+/// predicates inside a message's subtree is (part of) the message cache key —
+/// this is exactly what makes messages shareable between parent and child
+/// tree nodes (§5.5.1, Figure 6).
+class PredicateSet {
+ public:
+  void Add(int rel, const std::string& pred) { preds_[rel].push_back(pred); }
+  const std::vector<std::string>* For(int rel) const {
+    auto it = preds_.find(rel);
+    return it == preds_.end() ? nullptr : &it->second;
+  }
+  bool AnyIn(const std::vector<int>& rels) const;
+  std::string Signature(const std::vector<int>& rels) const;
+  const std::map<int, std::vector<std::string>>& all() const { return preds_; }
+
+ private:
+  std::map<int, std::vector<std::string>> preds_;
+};
+
+/// A computed (materialized) message.
+struct Message {
+  enum class Kind {
+    kNone,       ///< identity — dropped entirely (Appendix D.2)
+    kSelection,  ///< distinct surviving keys; consumed as a semi-join
+    kFull,       ///< aggregated semi-ring annotations per key
+  };
+  Kind kind = Kind::kNone;
+  std::string table;
+  std::vector<std::string> keys;
+  bool has_s = false;
+  bool has_q = false;
+};
+
+struct FactorizerOptions {
+  /// Materialize and reuse messages across tree nodes (JoinBoost). When
+  /// false every request recomputes — the LMFAO/Batch behaviour (Fig 16a).
+  bool cache_messages = true;
+  /// Track the quadratic q component (needed to report absolute variance;
+  /// the split criterion itself only needs c and s — §5.3.1 optimization).
+  bool track_q = false;
+  std::string temp_prefix = "jb_msg_";
+};
+
+/// Generates and executes message-passing SQL over a join graph (§3.1), with
+/// bidirectional message caching, identity-message elision and selection
+/// (semi-join) messages. All data access goes through SQL on the Database.
+class Factorizer {
+ public:
+  Factorizer(exec::Database* db, const graph::JoinGraph* graph,
+             FactorizerOptions options);
+  ~Factorizer();
+
+  void BindRelation(int rel, RelationBinding binding);
+  const RelationBinding& binding(int rel) const {
+    return bindings_.at(static_cast<size_t>(rel));
+  }
+
+  /// Invalidate every cached message whose subtree covers `rel` (after a
+  /// residual update of that relation's annotations).
+  void BumpEpoch(int rel);
+
+  /// Message from `from` toward `to` under node predicates.
+  Message GetMessage(int from, int to, const PredicateSet& preds,
+                     const std::string& tag);
+
+  /// Pure selection variant (ignores annotations): the semi-join selectors
+  /// used by residual updates (§5.3.1).
+  Message GetSelector(int from, int to, const PredicateSet& preds,
+                      const std::string& tag);
+
+  /// All incoming messages of `root` under predicates.
+  std::vector<Message> IncomingMessages(int root, const PredicateSet& preds,
+                                        const std::string& tag);
+
+  /// γ(σ(R⋈)) rooted at `root`: total (c, s, q) aggregate.
+  semiring::VarianceElem TotalAggregate(int root, const PredicateSet& preds,
+                                        const std::string& tag);
+
+  /// FROM/WHERE fragment + ⊗-product select expressions for an absorption at
+  /// `root`: callers compose "SELECT <attr>, SUM(c_expr), SUM(s_expr) ...".
+  struct AbsorptionParts {
+    std::string from_where;  ///< "FROM root JOIN m1 ON ... WHERE ..."
+    std::string c_expr;
+    std::string s_expr;
+    std::string q_expr;  ///< empty unless track_q
+  };
+  AbsorptionParts BuildAbsorption(int root, const PredicateSet& preds,
+                                  const std::string& tag);
+
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+  size_t messages_materialized() const { return messages_materialized_; }
+
+  /// Drop all cached message tables.
+  void ClearCache();
+
+  exec::Database* db() { return db_; }
+  const graph::JoinGraph& graph() const { return *graph_; }
+
+ private:
+  /// Relations reachable from `u` without crossing `v` (memoized).
+  const std::vector<int>& SubtreeRels(int u, int v);
+
+  /// True when every key of `to` finds a partner in `from` (lazily checked,
+  /// memoized): required to drop identity messages (Appendix D.2).
+  bool RefComplete(int from, int to, const std::vector<std::string>& keys);
+
+  std::string CacheKey(const char* prefix, int from, int to,
+                       const PredicateSet& preds);
+  std::string NewTempName();
+
+  exec::Database* db_;
+  const graph::JoinGraph* graph_;
+  FactorizerOptions options_;
+  std::vector<RelationBinding> bindings_;
+  std::vector<uint64_t> epochs_;
+
+  std::unordered_map<std::string, Message> cache_;
+  std::unordered_map<std::string, std::vector<int>> subtree_cache_;
+  std::unordered_map<std::string, bool> ref_complete_cache_;
+  std::vector<std::string> owned_tables_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+  size_t messages_materialized_ = 0;
+  uint64_t temp_counter_ = 0;
+};
+
+}  // namespace factor
+}  // namespace joinboost

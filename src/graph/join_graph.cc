@@ -1,0 +1,252 @@
+#include "graph/join_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace graph {
+
+int JoinGraph::AddRelation(const std::string& name,
+                           std::vector<std::string> features,
+                           const std::string& y_column) {
+  JB_CHECK_MSG(RelationIndex(name) < 0, "duplicate relation " << name);
+  Relation r;
+  r.name = name;
+  r.features = std::move(features);
+  r.y_column = y_column;
+  relations_.push_back(std::move(r));
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+int JoinGraph::AddEdge(const std::string& r1, const std::string& r2,
+                       std::vector<std::string> keys) {
+  int a = RelationIndex(r1);
+  int b = RelationIndex(r2);
+  JB_CHECK_MSG(a >= 0 && b >= 0, "unknown relation in edge " << r1 << "-" << r2);
+  JB_CHECK_MSG(!keys.empty(), "join edge needs at least one key");
+  Edge e;
+  e.a = a;
+  e.b = b;
+  e.keys = std::move(keys);
+  edges_.push_back(std::move(e));
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+int JoinGraph::RelationIndex(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int JoinGraph::YRelation() const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (!relations_[i].y_column.empty()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int JoinGraph::RelationOfFeature(const std::string& attr) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    for (const auto& f : relations_[i].features) {
+      if (f == attr) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<std::string> JoinGraph::AllFeatures() const {
+  std::vector<std::string> out;
+  for (const auto& r : relations_) {
+    out.insert(out.end(), r.features.begin(), r.features.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> JoinGraph::Neighbors(int r) const {
+  std::vector<std::pair<int, int>> out;
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].a == r) out.emplace_back(edges_[e].b, static_cast<int>(e));
+    if (edges_[e].b == r) out.emplace_back(edges_[e].a, static_cast<int>(e));
+  }
+  return out;
+}
+
+bool JoinGraph::IsTree() const {
+  if (relations_.empty()) return false;
+  if (edges_.size() != relations_.size() - 1) return false;
+  // Connectivity check via BFS.
+  std::vector<bool> seen(relations_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    int r = stack.back();
+    stack.pop_back();
+    for (auto [n, e] : Neighbors(r)) {
+      (void)e;
+      if (!seen[static_cast<size_t>(n)]) {
+        seen[static_cast<size_t>(n)] = true;
+        ++visited;
+        stack.push_back(n);
+      }
+    }
+  }
+  return visited == relations_.size();
+}
+
+bool JoinGraph::IsAlphaAcyclic() const {
+  // GYO reduction. Hyperedges: per relation, its join keys + features (+ Y).
+  std::vector<std::set<std::string>> hyper;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    std::set<std::string> attrs(relations_[i].features.begin(),
+                                relations_[i].features.end());
+    if (!relations_[i].y_column.empty()) attrs.insert(relations_[i].y_column);
+    for (const auto& e : edges_) {
+      if (e.a == static_cast<int>(i) || e.b == static_cast<int>(i)) {
+        attrs.insert(e.keys.begin(), e.keys.end());
+      }
+    }
+    hyper.push_back(std::move(attrs));
+  }
+  bool changed = true;
+  while (changed && hyper.size() > 1) {
+    changed = false;
+    // 1. Remove attributes appearing in exactly one hyperedge.
+    std::unordered_map<std::string, int> freq;
+    for (const auto& h : hyper) {
+      for (const auto& a : h) ++freq[a];
+    }
+    for (auto& h : hyper) {
+      for (auto it = h.begin(); it != h.end();) {
+        if (freq[*it] == 1) {
+          it = h.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // 2. Remove hyperedges that are subsets of another (ears).
+    for (size_t i = 0; i < hyper.size(); ++i) {
+      for (size_t j = 0; j < hyper.size(); ++j) {
+        if (i == j) continue;
+        if (std::includes(hyper[j].begin(), hyper[j].end(), hyper[i].begin(),
+                          hyper[i].end())) {
+          hyper.erase(hyper.begin() + static_cast<long>(i));
+          changed = true;
+          i = hyper.size();  // restart outer
+          break;
+        }
+      }
+    }
+  }
+  return hyper.size() <= 1;
+}
+
+JoinGraph::Directed JoinGraph::DirectTowards(int root) const {
+  JB_CHECK_MSG(IsTree(), "message passing requires an acyclic join graph; "
+                         "apply hypertree decomposition first");
+  Directed d;
+  d.parent.assign(relations_.size(), -1);
+  d.parent_edge.assign(relations_.size(), -1);
+  std::vector<int> bfs = {root};
+  std::vector<bool> seen(relations_.size(), false);
+  seen[static_cast<size_t>(root)] = true;
+  std::vector<int> top_down;
+  while (!bfs.empty()) {
+    int r = bfs.front();
+    bfs.erase(bfs.begin());
+    top_down.push_back(r);
+    for (auto [n, e] : Neighbors(r)) {
+      if (!seen[static_cast<size_t>(n)]) {
+        seen[static_cast<size_t>(n)] = true;
+        d.parent[static_cast<size_t>(n)] = r;
+        d.parent_edge[static_cast<size_t>(n)] = e;
+        bfs.push_back(n);
+      }
+    }
+  }
+  // Leaves-first order = reversed BFS.
+  d.order.assign(top_down.rbegin(), top_down.rend());
+  return d;
+}
+
+bool JoinGraph::IsSnowflakeFact(int r) const {
+  if (!IsTree()) return false;
+  Directed d = DirectTowards(r);
+  // Every edge, oriented away from r (child -> parent toward r), must have
+  // the child side N and the far-from-r side... i.e. walking from r outward,
+  // each edge's far side must be unique (N-to-1 from the r side).
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    int pe = d.parent_edge[i];
+    if (pe < 0) continue;
+    const Edge& e = edges_[static_cast<size_t>(pe)];
+    // relation i is farther from r than its parent; the far side is i.
+    bool far_unique = (e.a == static_cast<int>(i)) ? e.unique_a : e.unique_b;
+    if (!far_unique) return false;
+  }
+  return true;
+}
+
+std::vector<int> JoinGraph::ComputeClusters(
+    std::vector<int>* fact_of_cluster) const {
+  // Greedy: order relations by size (desc). Each unassigned relation becomes
+  // the fact of a new cluster, absorbing every unassigned relation reachable
+  // through N-to-1 edges (far side unique) — §4.2.2.
+  std::vector<size_t> order(relations_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Fact candidates (non-unique on at least one incident edge) take
+  // precedence over pure dimensions regardless of size; ties break by size.
+  auto dimension_like = [&](size_t r) {
+    bool has_edge = false;
+    for (const auto& e : edges_) {
+      if (e.a == static_cast<int>(r)) {
+        has_edge = true;
+        if (!e.unique_a) return false;
+      }
+      if (e.b == static_cast<int>(r)) {
+        has_edge = true;
+        if (!e.unique_b) return false;
+      }
+    }
+    return has_edge;
+  };
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    bool da = dimension_like(a), db_ = dimension_like(b);
+    if (da != db_) return !da;  // fact-like first
+    return relations_[a].num_rows > relations_[b].num_rows;
+  });
+
+  std::vector<int> cluster(relations_.size(), -1);
+  if (fact_of_cluster) fact_of_cluster->clear();
+  int next_cluster = 0;
+  for (size_t f : order) {
+    if (cluster[f] >= 0) continue;
+    int cid = next_cluster++;
+    cluster[f] = cid;
+    if (fact_of_cluster) fact_of_cluster->push_back(static_cast<int>(f));
+    // BFS outward through N-to-1 edges onto unassigned relations.
+    std::vector<int> stack = {static_cast<int>(f)};
+    while (!stack.empty()) {
+      int r = stack.back();
+      stack.pop_back();
+      for (auto [n, ei] : Neighbors(r)) {
+        if (cluster[static_cast<size_t>(n)] >= 0) continue;
+        const Edge& e = edges_[static_cast<size_t>(ei)];
+        bool far_unique = (e.a == n) ? e.unique_a : e.unique_b;
+        if (!far_unique) continue;  // not N-to-1 away from the fact
+        cluster[static_cast<size_t>(n)] = cid;
+        stack.push_back(n);
+      }
+    }
+  }
+  return cluster;
+}
+
+}  // namespace graph
+}  // namespace joinboost

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Umbrella header: the public JoinBoost-C++ API.
+///
+/// Typical usage (mirrors the paper's Figure 4):
+///
+///   joinboost::exec::Database db;          // or bring your own profile
+///   db.LoadTable(sales); db.LoadTable(dates);
+///
+///   joinboost::Dataset train_set(&db);
+///   train_set.AddTable("sales", /*features=*/{}, /*y=*/"net_profit");
+///   train_set.AddTable("date", {"holiday", "weekend"});
+///   train_set.AddJoin("sales", "date", {"date_id"});
+///
+///   joinboost::core::TrainParams params;
+///   params.objective = "regression";
+///   auto result = joinboost::Train(params, train_set);
+///   double yhat = result.model.Predict(row);
+
+#include "core/dataset.h"      // IWYU pragma: export
+#include "core/evaluate.h"     // IWYU pragma: export
+#include "core/model.h"        // IWYU pragma: export
+#include "core/params.h"       // IWYU pragma: export
+#include "core/train.h"        // IWYU pragma: export
+#include "exec/engine.h"       // IWYU pragma: export
+#include "storage/engine_profile.h"  // IWYU pragma: export
+#include "storage/table.h"     // IWYU pragma: export

@@ -1,0 +1,104 @@
+#include "semiring/semiring.h"
+
+#include <cmath>
+
+namespace joinboost {
+namespace semiring {
+
+double ClassCountElem::Gini() const {
+  if (c == 0) return 0;
+  double acc = 1.0;
+  for (double ck : counts) {
+    double p = ck / c;
+    acc -= p * p;
+  }
+  return acc;
+}
+
+double ClassCountElem::Entropy() const {
+  if (c == 0) return 0;
+  double acc = 0;
+  for (double ck : counts) {
+    if (ck <= 0) continue;
+    double p = ck / c;
+    acc -= p * std::log2(p);
+  }
+  return acc;
+}
+
+bool VarianceAddToMulHolds(double a, double b, double tol) {
+  VarianceElem lhs = VarianceElem::Lift(a + b);
+  VarianceElem rhs = VarianceElem::Lift(a) * VarianceElem::Lift(b);
+  return std::fabs(lhs.c - rhs.c) <= tol && std::fabs(lhs.s - rhs.s) <= tol &&
+         std::fabs(lhs.q - rhs.q) <=
+             tol * std::max(1.0, std::fabs(lhs.q));
+}
+
+double VarianceReduction(double c_total, double s_total, double c_sel,
+                         double s_sel) {
+  double c_rest = c_total - c_sel;
+  double s_rest = s_total - s_sel;
+  if (c_sel <= 0 || c_rest <= 0 || c_total <= 0) return 0;
+  // Computed as (s/c)*s to avoid overflow, as in the paper's Appendix A SQL.
+  return -(s_total / c_total) * s_total + (s_sel / c_sel) * s_sel +
+         (s_rest / c_rest) * s_rest;
+}
+
+double GradientGain(double g_total, double h_total, double g_sel, double h_sel,
+                    double lambda, double alpha) {
+  double g_rest = g_total - g_sel;
+  double h_rest = h_total - h_sel;
+  if (h_sel <= 0 || h_rest <= 0) return -alpha;
+  double before = (g_total / (h_total + lambda)) * g_total;
+  double after = (g_sel / (h_sel + lambda)) * g_sel +
+                 (g_rest / (h_rest + lambda)) * g_rest;
+  return 0.5 * (after - before) - alpha;
+}
+
+double GiniReduction(const ClassCountElem& total, const ClassCountElem& sel) {
+  ClassCountElem rest{total.c - sel.c, total.counts};
+  for (size_t i = 0; i < rest.counts.size(); ++i) {
+    rest.counts[i] -= sel.counts[i];
+  }
+  if (sel.c <= 0 || rest.c <= 0) return 0;
+  double w_sel = sel.c / total.c;
+  double w_rest = rest.c / total.c;
+  return total.Gini() - (w_sel * sel.Gini() + w_rest * rest.Gini());
+}
+
+double EntropyReduction(const ClassCountElem& total,
+                        const ClassCountElem& sel) {
+  ClassCountElem rest{total.c - sel.c, total.counts};
+  for (size_t i = 0; i < rest.counts.size(); ++i) {
+    rest.counts[i] -= sel.counts[i];
+  }
+  if (sel.c <= 0 || rest.c <= 0) return 0;
+  double w_sel = sel.c / total.c;
+  double w_rest = rest.c / total.c;
+  return total.Entropy() - (w_sel * sel.Entropy() + w_rest * rest.Entropy());
+}
+
+double ChiSquare(const ClassCountElem& total, const ClassCountElem& sel) {
+  ClassCountElem rest{total.c - sel.c, total.counts};
+  for (size_t i = 0; i < rest.counts.size(); ++i) {
+    rest.counts[i] -= sel.counts[i];
+  }
+  if (sel.c <= 0 || rest.c <= 0 || total.c <= 0) return 0;
+  double chi = 0;
+  for (size_t i = 0; i < total.counts.size(); ++i) {
+    double e_sel = total.counts[i] * sel.c / total.c;
+    double e_rest = total.counts[i] * rest.c / total.c;
+    if (e_sel > 0) {
+      double d = sel.counts[i] - e_sel;
+      chi += d * d / e_sel;
+    }
+    if (e_rest > 0) {
+      double d = rest.counts[i] - e_rest;
+      chi += d * d / e_rest;
+    }
+  }
+  return chi;
+}
+
+}  // namespace semiring
+}  // namespace joinboost

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace joinboost {
+namespace semiring {
+
+/// Variance semi-ring (paper Table 1): elements (c, s, q) = (count, Σy, Σy²).
+/// Supports the regression criterion (reduction in variance / rmse) and is
+/// addition-to-multiplication preserving (Definition 1), which is what makes
+/// factorized *gradient boosting* possible (§4.2).
+struct VarianceElem {
+  double c = 0, s = 0, q = 0;
+
+  static VarianceElem Zero() { return {0, 0, 0}; }
+  static VarianceElem One() { return {1, 0, 0}; }
+  static VarianceElem Lift(double y) { return {1, y, y * y}; }
+  /// Weighted lift for bag semantics (Appendix B.1).
+  static VarianceElem LiftWeighted(double y, double w) {
+    return {w, w * y, w * y * y};
+  }
+
+  VarianceElem operator+(const VarianceElem& o) const {
+    return {c + o.c, s + o.s, q + o.q};
+  }
+  VarianceElem operator*(const VarianceElem& o) const {
+    return {c * o.c, s * o.c + o.s * c, q * o.c + o.q * c + 2 * s * o.s};
+  }
+  bool operator==(const VarianceElem& o) const {
+    return c == o.c && s == o.s && q == o.q;
+  }
+
+  /// Total variance statistic Q - S²/C (Example 1).
+  double Variance() const { return c == 0 ? 0 : q - s * s / c; }
+};
+
+/// Class-count semi-ring (Table 1): (c, c¹, ..., cᵏ). Supports Gini,
+/// information gain and chi-square classification criteria (Appendix A).
+struct ClassCountElem {
+  double c = 0;
+  std::vector<double> counts;  ///< per-class counts
+
+  static ClassCountElem Zero(size_t k) { return {0, std::vector<double>(k, 0)}; }
+  static ClassCountElem One(size_t k) { return {1, std::vector<double>(k, 0)}; }
+  static ClassCountElem Lift(size_t k, size_t cls) {
+    ClassCountElem e{1, std::vector<double>(k, 0)};
+    e.counts[cls] = 1;
+    return e;
+  }
+
+  ClassCountElem operator+(const ClassCountElem& o) const {
+    ClassCountElem out{c + o.c, counts};
+    for (size_t i = 0; i < counts.size(); ++i) out.counts[i] += o.counts[i];
+    return out;
+  }
+  ClassCountElem operator*(const ClassCountElem& o) const {
+    ClassCountElem out{c * o.c, std::vector<double>(counts.size(), 0)};
+    for (size_t i = 0; i < counts.size(); ++i) {
+      out.counts[i] = counts[i] * o.c + c * o.counts[i];
+    }
+    return out;
+  }
+
+  double Gini() const;
+  double Entropy() const;
+};
+
+/// Gradient semi-ring (Table 2): (h, g) pairs of hessian/gradient sums with
+/// (h1,g1) ⊗ (h2,g2) = (h1·h2, g1·h2 + g2·h1). Structurally the (c, s) part
+/// of the variance semi-ring with h playing the role of the count.
+struct GradientElem {
+  double h = 0, g = 0;
+
+  static GradientElem Zero() { return {0, 0}; }
+  static GradientElem One() { return {1, 0}; }
+  static GradientElem Lift(double grad, double hess) { return {hess, grad}; }
+
+  GradientElem operator+(const GradientElem& o) const {
+    return {h + o.h, g + o.g};
+  }
+  GradientElem operator*(const GradientElem& o) const {
+    return {h * o.h, g * o.h + o.g * h};
+  }
+  bool operator==(const GradientElem& o) const { return h == o.h && g == o.g; }
+};
+
+/// Verify the addition-to-multiplication-preserving property (Definition 1)
+/// for the variance semi-ring at a pair of reals: lift(a+b) == lift(a)⊗lift(b).
+bool VarianceAddToMulHolds(double a, double b, double tol = 1e-9);
+
+/// Variance-reduction criterion for a candidate split (Section 3.3):
+///   -S²/C + Sσ²/Cσ + (S-Sσ)²/(C-Cσ).
+double VarianceReduction(double c_total, double s_total, double c_sel,
+                         double s_sel);
+
+/// Regularized gain used by gradient boosting (Appendix B.2):
+///   0.5·[Gσ²/(Hσ+λ) + (G−Gσ)²/(H−Hσ+λ) − G²/(H+λ)] − α.
+double GradientGain(double g_total, double h_total, double g_sel, double h_sel,
+                    double lambda, double alpha);
+
+/// Gini-impurity reduction for classification splits.
+double GiniReduction(const ClassCountElem& total, const ClassCountElem& sel);
+
+/// Information gain (entropy reduction).
+double EntropyReduction(const ClassCountElem& total, const ClassCountElem& sel);
+
+/// Chi-square statistic of a split (Appendix A).
+double ChiSquare(const ClassCountElem& total, const ClassCountElem& sel);
+
+}  // namespace semiring
+}  // namespace joinboost

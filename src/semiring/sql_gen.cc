@@ -1,0 +1,123 @@
+#include "semiring/sql_gen.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace semiring {
+
+namespace {
+
+/// Π of c-components over annotated operands, excluding indices in `skip`.
+std::string ProdCExcept(const std::vector<SqlOperand>& ops, int skip1,
+                        int skip2) {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_annotation) continue;
+    if (static_cast<int>(i) == skip1 || static_cast<int>(i) == skip2) continue;
+    if (!out.empty()) out += " * ";
+    out += ops[i].C();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string VarianceSqlGen::MulC(const std::vector<SqlOperand>& ops) {
+  std::string prod = ProdCExcept(ops, -1, -1);
+  return prod.empty() ? "1" : prod;
+}
+
+std::string VarianceSqlGen::MulS(const std::vector<SqlOperand>& ops) {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_annotation) continue;
+    std::string term = ops[i].S();
+    std::string rest = ProdCExcept(ops, static_cast<int>(i), -1);
+    if (!rest.empty()) term += " * " + rest;
+    if (!out.empty()) out += " + ";
+    out += term;
+  }
+  return out.empty() ? "0" : out;
+}
+
+std::string VarianceSqlGen::MulQ(const std::vector<SqlOperand>& ops) {
+  std::string out;
+  // Σᵢ qᵢ·Π_{j≠i} cⱼ
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_annotation) continue;
+    JB_CHECK_MSG(!ops[i].q_col.empty(),
+                 "operand " << ops[i].alias << " lacks a q component");
+    std::string term = ops[i].Q();
+    std::string rest = ProdCExcept(ops, static_cast<int>(i), -1);
+    if (!rest.empty()) term += " * " + rest;
+    if (!out.empty()) out += " + ";
+    out += term;
+  }
+  // 2·Σ_{i<j} sᵢ·sⱼ·Π_{l∉{i,j}} cₗ
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_annotation) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (!ops[j].has_annotation) continue;
+      std::string term =
+          "2 * " + ops[i].S() + " * " + ops[j].S();
+      std::string rest =
+          ProdCExcept(ops, static_cast<int>(i), static_cast<int>(j));
+      if (!rest.empty()) term += " * " + rest;
+      if (!out.empty()) out += " + ";
+      out += term;
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+std::string VarianceSqlGen::UpdateS(const std::string& s, const std::string& c,
+                                    double p) {
+  return s + " - " + SqlDouble(p) + " * " + c;
+}
+
+std::string VarianceSqlGen::UpdateQ(const std::string& q, const std::string& s,
+                                    const std::string& c, double p) {
+  return q + " + " + SqlDouble(p * p) + " * " + c + " - " +
+         SqlDouble(2.0 * p) + " * " + s;
+}
+
+std::string ClassCountSqlGen::MulC(const std::vector<SqlOperand>& ops) {
+  return VarianceSqlGen::MulC(ops);
+}
+
+std::string ClassCountSqlGen::MulClass(const std::vector<SqlOperand>& ops,
+                                       const std::string& cls_prefix,
+                                       size_t k) {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_annotation) continue;
+    std::string col = cls_prefix + std::to_string(k);
+    std::string term =
+        ops[i].alias.empty() ? col : ops[i].alias + "." + col;
+    std::string rest = ProdCExcept(ops, static_cast<int>(i), -1);
+    if (!rest.empty()) term += " * " + rest;
+    if (!out.empty()) out += " + ";
+    out += term;
+  }
+  return out.empty() ? "0" : out;
+}
+
+std::string SqlDouble(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  // Negative literals must parenthesize to survive re-parsing inside
+  // multiplicative contexts.
+  if (!s.empty() && s[0] == '-') s = "(" + s + ")";
+  return s;
+}
+
+}  // namespace semiring
+}  // namespace joinboost

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace joinboost {
+namespace sql {
+
+/// Parse error with position information.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, size_t pos)
+      : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")") {}
+};
+
+/// Parse a single SQL statement (trailing semicolon optional).
+Statement Parse(const std::string& text);
+
+/// Parse an expression in isolation (used by tests).
+ExprPtr ParseExpr(const std::string& text);
+
+}  // namespace sql
+}  // namespace joinboost

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace joinboost {
+namespace sql {
+
+/// Render an expression / statement back to SQL text. Printing then
+/// re-parsing yields an equivalent AST (tested); the trainers use this to
+/// surface the exact SQL they run, as the paper's middleware does.
+std::string ToSql(const Expr& expr);
+std::string ToSql(const SelectStmt& stmt);
+std::string ToSql(const Statement& stmt);
+
+}  // namespace sql
+}  // namespace joinboost

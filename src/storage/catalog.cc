@@ -1,0 +1,71 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace joinboost {
+
+void Catalog::Register(const TablePtr& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[table->name()] = table;
+}
+
+void Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  JB_CHECK_MSG(it != tables_.end(), "DROP: no such table " << name);
+  tables_.erase(it);
+}
+
+void Catalog::DropIfExists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+void Catalog::DropPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TablePtr Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  JB_CHECK_MSG(it != tables_.end(), "no such table: " << name);
+  return it->second;
+}
+
+TablePtr Catalog::GetOrNull(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->ByteSize();
+  return total;
+}
+
+}  // namespace joinboost

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace joinboost {
+
+/// Thread-safe name → table map. JoinBoost creates all of its intermediates
+/// (messages, update tables) under a unique prefix so training never touches
+/// user data (paper §5.1 "Safety"); DropPrefix cleans them up after training.
+class Catalog {
+ public:
+  void Register(const TablePtr& table);
+  void Drop(const std::string& name);
+  void DropIfExists(const std::string& name);
+  /// Drop every table whose name starts with `prefix`.
+  void DropPrefix(const std::string& prefix);
+
+  TablePtr Get(const std::string& name) const;
+  TablePtr GetOrNull(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+  size_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace joinboost

@@ -1,0 +1,193 @@
+#include "storage/column.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace joinboost {
+
+ColumnPtr ColumnData::MakeInts(std::vector<int64_t> values) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kInt64;
+  col->length_ = values.size();
+  col->ints_ = std::make_shared<const std::vector<int64_t>>(std::move(values));
+  return col;
+}
+
+ColumnPtr ColumnData::MakeDoubles(std::vector<double> values) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kFloat64;
+  col->length_ = values.size();
+  col->dbls_ = std::make_shared<const std::vector<double>>(std::move(values));
+  return col;
+}
+
+ColumnPtr ColumnData::MakeStrings(const std::vector<std::string>& values,
+                                  DictionaryPtr dict) {
+  if (!dict) dict = std::make_shared<Dictionary>();
+  std::vector<int64_t> codes;
+  codes.reserve(values.size());
+  for (const auto& s : values) codes.push_back(dict->GetOrAdd(s));
+  return MakeDictCodes(std::move(codes), std::move(dict));
+}
+
+ColumnPtr ColumnData::MakeDictCodes(std::vector<int64_t> codes,
+                                    DictionaryPtr dict) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kString;
+  col->length_ = codes.size();
+  col->ints_ = std::make_shared<const std::vector<int64_t>>(std::move(codes));
+  col->dict_ = std::move(dict);
+  return col;
+}
+
+ColumnPtr ColumnData::AdoptInts(
+    std::shared_ptr<const std::vector<int64_t>> v) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kInt64;
+  col->length_ = v->size();
+  col->ints_ = std::move(v);
+  return col;
+}
+
+ColumnPtr ColumnData::AdoptDoubles(
+    std::shared_ptr<const std::vector<double>> v) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kFloat64;
+  col->length_ = v->size();
+  col->dbls_ = std::move(v);
+  return col;
+}
+
+ColumnPtr ColumnData::AdoptCodes(std::shared_ptr<const std::vector<int64_t>> v,
+                                 DictionaryPtr dict) {
+  auto col = std::make_shared<ColumnData>();
+  col->type_ = TypeId::kString;
+  col->length_ = v->size();
+  col->ints_ = std::move(v);
+  col->dict_ = std::move(dict);
+  return col;
+}
+
+void ColumnData::Encode() {
+  if (encoded_) return;
+  if (type_ == TypeId::kFloat64) {
+    enc_dbls_ = std::make_unique<compression::EncodedDoubles>(
+        compression::EncodeDoubles(*dbls_));
+    dbls_.reset();
+  } else {
+    enc_ints_ = std::make_unique<compression::EncodedInts>(
+        compression::EncodeInts(*ints_));
+    ints_.reset();
+  }
+  encoded_ = true;
+}
+
+void ColumnData::Decode() {
+  if (!encoded_) return;
+  if (type_ == TypeId::kFloat64) {
+    dbls_ = std::make_shared<const std::vector<double>>(
+        compression::DecodeDoubles(*enc_dbls_));
+    enc_dbls_.reset();
+  } else {
+    ints_ = std::make_shared<const std::vector<int64_t>>(
+        compression::DecodeInts(*enc_ints_));
+    enc_ints_.reset();
+  }
+  encoded_ = false;
+}
+
+const std::shared_ptr<const std::vector<int64_t>>& ColumnData::PlainInts()
+    const {
+  JB_CHECK_MSG(!encoded_, "column is compressed");
+  JB_CHECK(type_ != TypeId::kFloat64);
+  return ints_;
+}
+
+const std::shared_ptr<const std::vector<double>>& ColumnData::PlainDoubles()
+    const {
+  JB_CHECK_MSG(!encoded_, "column is compressed");
+  JB_CHECK(type_ == TypeId::kFloat64);
+  return dbls_;
+}
+
+std::vector<int64_t> ColumnData::DecodeInts() const {
+  JB_CHECK(type_ != TypeId::kFloat64);
+  if (encoded_) return compression::DecodeInts(*enc_ints_);
+  return *ints_;
+}
+
+std::vector<double> ColumnData::DecodeDoubles() const {
+  JB_CHECK(type_ == TypeId::kFloat64);
+  if (encoded_) return compression::DecodeDoubles(*enc_dbls_);
+  return *dbls_;
+}
+
+void ColumnData::ReplaceInts(std::vector<int64_t> values) {
+  JB_CHECK(type_ != TypeId::kFloat64);
+  length_ = values.size();
+  ints_ = std::make_shared<const std::vector<int64_t>>(std::move(values));
+  enc_ints_.reset();
+  encoded_ = false;
+}
+
+void ColumnData::ReplaceDoubles(std::vector<double> values) {
+  JB_CHECK(type_ == TypeId::kFloat64);
+  length_ = values.size();
+  dbls_ = std::make_shared<const std::vector<double>>(std::move(values));
+  enc_dbls_.reset();
+  encoded_ = false;
+}
+
+size_t ColumnData::ByteSize() const {
+  if (encoded_) {
+    return type_ == TypeId::kFloat64 ? enc_dbls_->ByteSize()
+                                     : enc_ints_->ByteSize();
+  }
+  return length_ * 8;
+}
+
+void ColumnData::SwapPayload(ColumnData& other) {
+  JB_CHECK_MSG(type_ == other.type_, "column swap requires matching types");
+  std::swap(length_, other.length_);
+  std::swap(encoded_, other.encoded_);
+  std::swap(ints_, other.ints_);
+  std::swap(dbls_, other.dbls_);
+  std::swap(enc_ints_, other.enc_ints_);
+  std::swap(enc_dbls_, other.enc_dbls_);
+  std::swap(dict_, other.dict_);
+}
+
+Value ColumnData::GetValue(size_t row) const {
+  JB_CHECK(row < length_);
+  if (encoded_) {
+    // Row access on compressed columns is for debugging only; decode the lot.
+    if (type_ == TypeId::kFloat64) {
+      return Value::Double(compression::DecodeDoubles(*enc_dbls_)[row]);
+    }
+    int64_t code = compression::DecodeInts(*enc_ints_)[row];
+    if (type_ == TypeId::kString) {
+      if (code == kNullInt64) return Value::Null(TypeId::kString);
+      Value v = Value::Str(dict_->At(code));
+      v.i = code;
+      return v;
+    }
+    return Value::Int(code);
+  }
+  switch (type_) {
+    case TypeId::kInt64:
+      return Value::Int((*ints_)[row]);
+    case TypeId::kFloat64:
+      return Value::Double((*dbls_)[row]);
+    case TypeId::kString: {
+      int64_t code = (*ints_)[row];
+      if (code == kNullInt64) return Value::Null(TypeId::kString);
+      Value v = Value::Str(dict_->At(code));
+      v.i = code;
+      return v;
+    }
+  }
+  return Value::Null(type_);
+}
+
+}  // namespace joinboost

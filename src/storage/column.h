@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/compression.h"
+#include "storage/types.h"
+
+namespace joinboost {
+
+/// Append-only shared string dictionary. Codes are dense int64 starting at 0.
+class Dictionary {
+ public:
+  int64_t GetOrAdd(const std::string& s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    int64_t code = static_cast<int64_t>(strings_.size());
+    strings_.push_back(s);
+    index_.emplace(s, code);
+    return code;
+  }
+
+  /// Returns the code or kNullInt64 when absent.
+  int64_t Find(const std::string& s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kNullInt64 : it->second;
+  }
+
+  const std::string& At(int64_t code) const { return strings_.at(code); }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+using DictionaryPtr = std::shared_ptr<Dictionary>;
+
+class ColumnData;
+using ColumnPtr = std::shared_ptr<ColumnData>;
+
+/// One column of a table. Data lives either in a plain (uncompressed) vector
+/// or in a compressed payload; never both. Plain payloads are held behind
+/// shared_ptr so scans can be zero-copy and so the engine's *column swap*
+/// (paper §5.4, D-Swap) is a pointer exchange.
+class ColumnData {
+ public:
+  static ColumnPtr MakeInts(std::vector<int64_t> values);
+  static ColumnPtr MakeDoubles(std::vector<double> values);
+  static ColumnPtr MakeStrings(const std::vector<std::string>& values,
+                               DictionaryPtr dict = nullptr);
+  /// A dict-code column that shares an existing dictionary.
+  static ColumnPtr MakeDictCodes(std::vector<int64_t> codes, DictionaryPtr dict);
+
+  /// Zero-copy adoption of shared payloads (used when materializing query
+  /// results into tables).
+  static ColumnPtr AdoptInts(std::shared_ptr<const std::vector<int64_t>> v);
+  static ColumnPtr AdoptDoubles(std::shared_ptr<const std::vector<double>> v);
+  static ColumnPtr AdoptCodes(std::shared_ptr<const std::vector<int64_t>> v,
+                              DictionaryPtr dict);
+
+  TypeId type() const { return type_; }
+  size_t size() const { return length_; }
+  bool encoded() const { return encoded_; }
+  const DictionaryPtr& dict() const { return dict_; }
+
+  /// Compress the payload (real CPU cost). No-op when already encoded.
+  void Encode();
+
+  /// Decompress back to plain storage (real CPU cost). No-op when plain.
+  void Decode();
+
+  /// Plain int64 payload; requires !encoded() and an int/string column.
+  const std::shared_ptr<const std::vector<int64_t>>& PlainInts() const;
+  /// Plain float64 payload; requires !encoded() and a float column.
+  const std::shared_ptr<const std::vector<double>>& PlainDoubles() const;
+
+  /// Decoded copies (decompressing if needed) — used by scans of compressed
+  /// tables, which pay the decompression each query like a real engine.
+  std::vector<int64_t> DecodeInts() const;
+  std::vector<double> DecodeDoubles() const;
+
+  /// Replace the payload wholesale (CREATE-style rewrite).
+  void ReplaceInts(std::vector<int64_t> values);
+  void ReplaceDoubles(std::vector<double> values);
+
+  /// In-memory footprint in bytes (plain or compressed).
+  size_t ByteSize() const;
+
+  /// Pointer-swap payloads with another column of the same type.
+  /// This is the <100-LOC engine patch the paper adds to DuckDB.
+  void SwapPayload(ColumnData& other);
+
+  Value GetValue(size_t row) const;
+
+ private:
+  TypeId type_ = TypeId::kInt64;
+  size_t length_ = 0;
+  bool encoded_ = false;
+  std::shared_ptr<const std::vector<int64_t>> ints_;
+  std::shared_ptr<const std::vector<double>> dbls_;
+  std::unique_ptr<compression::EncodedInts> enc_ints_;
+  std::unique_ptr<compression::EncodedDoubles> enc_dbls_;
+  DictionaryPtr dict_;
+};
+
+}  // namespace joinboost

@@ -1,0 +1,148 @@
+#include "storage/compression.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace compression {
+
+namespace {
+
+uint8_t BitsNeeded(uint64_t v) {
+  uint8_t bits = 0;
+  while (v) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+size_t EncodedInts::ByteSize() const {
+  size_t total = 0;
+  for (const auto& b : blocks) total += b.words.size() * 8 + 16;
+  return total;
+}
+
+size_t EncodedDoubles::ByteSize() const {
+  size_t total = 0;
+  for (const auto& b : blocks) total += b.bytes.size() + 8;
+  return total;
+}
+
+EncodedInts EncodeInts(const std::vector<int64_t>& values) {
+  EncodedInts out;
+  out.size = values.size();
+  for (size_t start = 0; start < values.size(); start += kBlockSize) {
+    size_t end = std::min(values.size(), start + kBlockSize);
+    EncodedInts::Block block;
+    block.count = static_cast<uint32_t>(end - start);
+    int64_t mn = values[start];
+    int64_t mx = values[start];
+    for (size_t i = start; i < end; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    block.reference = mn;
+    uint64_t range = static_cast<uint64_t>(mx - mn);
+    block.bit_width = BitsNeeded(range);
+    size_t total_bits = static_cast<size_t>(block.bit_width) * block.count;
+    block.words.assign((total_bits + 63) / 64, 0);
+    size_t bit_pos = 0;
+    for (size_t i = start; i < end; ++i) {
+      uint64_t delta = static_cast<uint64_t>(values[i] - mn);
+      size_t word = bit_pos >> 6;
+      size_t offset = bit_pos & 63;
+      block.words[word] |= delta << offset;
+      if (offset + block.bit_width > 64) {
+        block.words[word + 1] |= delta >> (64 - offset);
+      }
+      bit_pos += block.bit_width;
+    }
+    out.blocks.push_back(std::move(block));
+  }
+  return out;
+}
+
+std::vector<int64_t> DecodeInts(const EncodedInts& enc) {
+  std::vector<int64_t> out;
+  out.reserve(enc.size);
+  for (const auto& block : enc.blocks) {
+    const uint64_t mask = block.bit_width == 64
+                              ? ~0ULL
+                              : ((1ULL << block.bit_width) - 1);
+    size_t bit_pos = 0;
+    for (uint32_t i = 0; i < block.count; ++i) {
+      size_t word = bit_pos >> 6;
+      size_t offset = bit_pos & 63;
+      uint64_t v = block.words[word] >> offset;
+      if (offset + block.bit_width > 64) {
+        v |= block.words[word + 1] << (64 - offset);
+      }
+      out.push_back(block.reference + static_cast<int64_t>(v & mask));
+      bit_pos += block.bit_width;
+    }
+  }
+  return out;
+}
+
+EncodedDoubles EncodeDoubles(const std::vector<double>& values) {
+  EncodedDoubles out;
+  out.size = values.size();
+  for (size_t start = 0; start < values.size(); start += kBlockSize) {
+    size_t end = std::min(values.size(), start + kBlockSize);
+    EncodedDoubles::Block block;
+    block.count = static_cast<uint32_t>(end - start);
+    block.bytes.reserve((end - start) * 5);
+    uint64_t prev = 0;
+    for (size_t i = start; i < end; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &values[i], 8);
+      uint64_t x = bits ^ prev;
+      prev = bits;
+      // Varint-ish: emit the number of significant bytes, then those bytes,
+      // dropping leading zero bytes (most consecutive doubles share exponent
+      // and high mantissa bits, so xor leaves low entropy on top).
+      uint8_t nbytes = 0;
+      uint64_t tmp = x;
+      while (tmp) {
+        ++nbytes;
+        tmp >>= 8;
+      }
+      block.bytes.push_back(nbytes);
+      for (uint8_t b = 0; b < nbytes; ++b) {
+        block.bytes.push_back(static_cast<uint8_t>(x >> (8 * b)));
+      }
+    }
+    out.blocks.push_back(std::move(block));
+  }
+  return out;
+}
+
+std::vector<double> DecodeDoubles(const EncodedDoubles& enc) {
+  std::vector<double> out;
+  out.reserve(enc.size);
+  for (const auto& block : enc.blocks) {
+    size_t pos = 0;
+    uint64_t prev = 0;
+    for (uint32_t i = 0; i < block.count; ++i) {
+      JB_CHECK(pos < block.bytes.size());
+      uint8_t nbytes = block.bytes[pos++];
+      uint64_t x = 0;
+      for (uint8_t b = 0; b < nbytes; ++b) {
+        x |= static_cast<uint64_t>(block.bytes[pos++]) << (8 * b);
+      }
+      uint64_t bits = x ^ prev;
+      prev = bits;
+      double v;
+      std::memcpy(&v, &bits, 8);
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace compression
+}  // namespace joinboost

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace joinboost {
+
+/// Block-based lightweight compression, mirroring what columnar engines do and
+/// what the paper identifies as a residual-update cost (§5.3.2 "Compression").
+/// These are real codecs: encoding and decoding costs are genuine CPU work,
+/// not simulated sleeps.
+///
+/// - Int64: per-block frame-of-reference + bit-packing.
+/// - Float64: per-block XOR-with-previous + leading/trailing zero-byte
+///   truncation (a simplified Gorilla scheme).
+namespace compression {
+
+constexpr size_t kBlockSize = 4096;  ///< values per compressed block
+
+/// Compressed int64 column payload.
+struct EncodedInts {
+  struct Block {
+    int64_t reference = 0;     ///< frame-of-reference minimum
+    uint8_t bit_width = 0;     ///< bits per packed delta
+    uint32_t count = 0;        ///< number of values
+    std::vector<uint64_t> words;  ///< bit-packed deltas
+  };
+  std::vector<Block> blocks;
+  size_t size = 0;
+
+  /// Compressed payload size in bytes (for memory accounting).
+  size_t ByteSize() const;
+};
+
+/// Compressed float64 column payload.
+struct EncodedDoubles {
+  struct Block {
+    uint32_t count = 0;
+    std::vector<uint8_t> bytes;  ///< xor-compressed stream
+  };
+  std::vector<Block> blocks;
+  size_t size = 0;
+
+  size_t ByteSize() const;
+};
+
+EncodedInts EncodeInts(const std::vector<int64_t>& values);
+std::vector<int64_t> DecodeInts(const EncodedInts& enc);
+
+EncodedDoubles EncodeDoubles(const std::vector<double>& values);
+std::vector<double> DecodeDoubles(const EncodedDoubles& enc);
+
+}  // namespace compression
+}  // namespace joinboost

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <string>
+
+namespace joinboost {
+
+/// Configuration of genuine engine mechanisms, used to emulate the DBMS
+/// variants the paper evaluates (Figures 5 and 15). Each flag switches a real
+/// code path — see DESIGN.md "Substitutions".
+struct EngineProfile {
+  std::string name = "D-Swap";
+
+  /// Vectorized columnar operators (true) vs. tuple-at-a-time row execution.
+  bool columnar_exec = true;
+
+  /// Compress table payloads at rest; scans decompress, writes recompress.
+  bool compression = false;
+
+  /// Write-ahead logging of updates / created tables.
+  bool wal = false;
+
+  /// Spill WAL to an actual disk file (disk-based profiles).
+  bool wal_to_disk = false;
+
+  /// MVCC: copy old values into the version store before in-place updates,
+  /// and single-thread the update path (DuckDB's updates are
+  /// single-threaded, §5.3.2 "Implementation").
+  bool mvcc = false;
+
+  /// Engine patch enabling pointer-based column swap between tables (§5.4).
+  bool allow_column_swap = false;
+
+  /// DP mode: tables flagged as dataframes bypass WAL/CC/compression but
+  /// scans pay an interop materialization pass (DuckDB-Pandas, §5.4).
+  bool dataframe_interop = false;
+
+  /// Threads used for intra-query parallel aggregation (paper finds 4 best).
+  int intra_query_threads = 4;
+
+  // ---- Presets matching the paper's systems ----
+
+  /// Commercial columnar, disk-based: compression + WAL-to-disk, no swap.
+  static EngineProfile XCol() {
+    EngineProfile p;
+    p.name = "X-col";
+    p.compression = true;
+    p.wal = true;
+    p.wal_to_disk = true;
+    return p;
+  }
+
+  /// Commercial row store: row-at-a-time execution, WAL-to-disk.
+  static EngineProfile XRow() {
+    EngineProfile p;
+    p.name = "X-row";
+    p.columnar_exec = false;
+    p.wal = true;
+    p.wal_to_disk = true;
+    return p;
+  }
+
+  /// X-col plus simulated column swap (the paper's X-Swap*).
+  static EngineProfile XSwapStar() {
+    EngineProfile p = XCol();
+    p.name = "X-Swap*";
+    p.allow_column_swap = true;
+    return p;
+  }
+
+  /// DuckDB disk-based: columnar, compressed, WAL-to-disk.
+  static EngineProfile DDisk() {
+    EngineProfile p;
+    p.name = "D-disk";
+    p.compression = true;
+    p.wal = true;
+    p.wal_to_disk = true;
+    return p;
+  }
+
+  /// DuckDB in-memory: no WAL, but MVCC versioning on updates.
+  static EngineProfile DMem() {
+    EngineProfile p;
+    p.name = "D-mem";
+    p.compression = true;
+    p.mvcc = true;
+    return p;
+  }
+
+  /// DuckDB + Pandas: fact table as dataframe; interop scan cost; updates
+  /// become pointer swaps on the dataframe.
+  static EngineProfile DP() {
+    EngineProfile p;
+    p.name = "DP";
+    p.compression = true;
+    p.mvcc = true;
+    p.dataframe_interop = true;
+    p.allow_column_swap = true;
+    return p;
+  }
+
+  /// Modified DuckDB with in-engine column swap (the paper's default).
+  static EngineProfile DSwap() {
+    EngineProfile p;
+    p.name = "D-Swap";
+    p.compression = true;
+    p.mvcc = true;
+    p.allow_column_swap = true;
+    return p;
+  }
+};
+
+}  // namespace joinboost

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace joinboost {
+
+/// Minimal multi-version store. In-memory DuckDB pays MVCC overheads on
+/// updates — versioning plus undo logging (§5.3.2 "Concurrency Control").
+/// Before an in-place update we copy the old values of the touched rows into
+/// an undo record; RollbackLast() restores them (used by failure-injection
+/// tests). The copies are real memory traffic, which is the cost being
+/// modelled.
+class VersionStore {
+ public:
+  struct Undo {
+    std::string table;
+    std::string column;
+    std::vector<uint32_t> rows;        ///< empty = full column
+    std::vector<double> old_doubles;   ///< one of these two is populated
+    std::vector<int64_t> old_ints;
+    uint64_t txn_id = 0;
+  };
+
+  uint64_t BeginTxn() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++next_txn_;
+  }
+
+  void RecordDoubles(uint64_t txn, const std::string& table,
+                     const std::string& column,
+                     const std::vector<uint32_t>& rows,
+                     std::vector<double> old_values) {
+    std::lock_guard<std::mutex> lock(mu_);
+    undo_.push_back({table, column, rows, std::move(old_values), {}, txn});
+    bytes_versioned_ += undo_.back().old_doubles.size() * 8;
+  }
+
+  void RecordInts(uint64_t txn, const std::string& table,
+                  const std::string& column, const std::vector<uint32_t>& rows,
+                  std::vector<int64_t> old_values) {
+    std::lock_guard<std::mutex> lock(mu_);
+    undo_.push_back({table, column, rows, {}, std::move(old_values), txn});
+    bytes_versioned_ += undo_.back().old_ints.size() * 8;
+  }
+
+  /// Pop the most recent undo record (or nullptr-equivalent empty optional).
+  bool PopLast(Undo* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (undo_.empty()) return false;
+    *out = std::move(undo_.back());
+    undo_.pop_back();
+    return true;
+  }
+
+  size_t num_undo_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return undo_.size();
+  }
+  uint64_t bytes_versioned() const { return bytes_versioned_; }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    undo_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Undo> undo_;
+  uint64_t next_txn_ = 0;
+  uint64_t bytes_versioned_ = 0;
+};
+
+}  // namespace joinboost

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace joinboost {
+
+/// Column types supported by the engine. Strings are always dictionary-encoded
+/// (paper §6 preprocess: "dictionary encode strings into 32-bit unsigned
+/// integers"); the codes are stored as int64 alongside a shared dictionary.
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+/// NULL sentinel for int64 columns (also for dictionary codes).
+constexpr int64_t kNullInt64 = std::numeric_limits<int64_t>::min();
+
+/// NULL for doubles is represented as a quiet NaN.
+inline double NullFloat64() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+inline bool IsNullFloat64(double v) { return std::isnan(v); }
+
+inline const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kFloat64:
+      return "FLOAT64";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+/// A single scalar value; used by row-mode execution, literals, and tests.
+struct Value {
+  TypeId type = TypeId::kInt64;
+  bool null = false;
+  int64_t i = 0;     ///< int64 payload or dictionary code
+  double d = 0.0;    ///< float64 payload
+  std::string s;     ///< decoded string payload (only for literals/results)
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.type = TypeId::kInt64;
+    out.i = v;
+    out.null = (v == kNullInt64);
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type = TypeId::kFloat64;
+    out.d = v;
+    out.null = IsNullFloat64(v);
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type = TypeId::kString;
+    out.s = std::move(v);
+    return out;
+  }
+  static Value Null(TypeId t) {
+    Value out;
+    out.type = t;
+    out.null = true;
+    out.i = kNullInt64;
+    out.d = NullFloat64();
+    return out;
+  }
+
+  /// Numeric view with int->double promotion; strings compare via code only.
+  double AsDouble() const {
+    if (null) return NullFloat64();
+    if (type == TypeId::kFloat64) return d;
+    return static_cast<double>(i);
+  }
+
+  bool operator==(const Value& other) const {
+    if (type != other.type) return AsDouble() == other.AsDouble();
+    if (null || other.null) return null == other.null;
+    switch (type) {
+      case TypeId::kInt64:
+        return i == other.i;
+      case TypeId::kFloat64:
+        return d == other.d;
+      case TypeId::kString:
+        return s == other.s ? true : i == other.i;
+    }
+    return false;
+  }
+};
+
+}  // namespace joinboost

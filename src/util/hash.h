@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace joinboost {
+
+/// Combine two 64-bit hashes (boost-style with a 64-bit golden ratio).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (SplitMix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// FNV-1a over raw bytes. Used by the WAL for (cost-bearing) checksums.
+inline uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Hash a composite key of int64 parts.
+inline uint64_t HashKey(const std::vector<int64_t>& parts) {
+  uint64_t h = 0x12345678ABCDEF01ULL;
+  for (int64_t v : parts) h = HashCombine(h, static_cast<uint64_t>(v));
+  return h;
+}
+
+}  // namespace joinboost

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace joinboost {
+
+/// SplitMix64: used both as a standalone generator seedstate mixer and as the
+/// engine's deterministic HASH(x, seed) SQL function.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Small fast deterministic RNG (xoshiro256**). Not thread-safe; create one
+/// per thread/task with distinct seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x = SplitMix64(x);
+      si = x;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t NextBounded(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; no caching).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace joinboost

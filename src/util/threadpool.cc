@@ -1,0 +1,91 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+
+namespace joinboost {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // The caller participates in the loop, so nested ParallelFor calls from
+  // inside pool workers cannot deadlock even when every worker is busy: the
+  // caller alone can drain all items; helper tasks are pure accelerators.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto items_done = std::make_shared<std::atomic<size_t>>(0);
+  size_t helpers = std::min(n, workers_.size()) - 1;
+  auto work = [next, items_done, n, &fn] {
+    size_t i;
+    while ((i = next->fetch_add(1)) < n) {
+      fn(i);
+      items_done->fetch_add(1);
+    }
+  };
+  for (size_t t = 0; t < helpers; ++t) {
+    // Helpers capture by value (shared_ptr) except fn, which outlives them
+    // because the caller spins below until every item completes.
+    Submit([next, items_done, n, &fn] {
+      size_t i;
+      while ((i = next->fetch_add(1)) < n) {
+        fn(i);
+        items_done->fetch_add(1);
+      }
+    });
+  }
+  work();
+  while (items_done->load() < n) std::this_thread::yield();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace joinboost

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace joinboost {
+
+/// Fixed-size thread pool. Tasks are plain std::function<void()>; callers
+/// wait for completion via WaitIdle() or their own synchronization.
+/// Used for intra-query parallel aggregation and the inter-query scheduler.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for all to finish.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace joinboost

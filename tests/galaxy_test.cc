@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boosting.h"
+#include "core/session.h"
+#include "data/generators.h"
+#include "joinboost.h"
+
+namespace joinboost {
+namespace {
+
+data::ImdbConfig TinyImdb() {
+  data::ImdbConfig config;
+  config.num_movies = 60;
+  config.num_persons = 120;
+  config.cast_per_movie = 4;
+  config.companies_per_movie = 2;
+  config.info_per_movie = 2;
+  config.keywords_per_movie = 2;
+  config.infos_per_person = 2;
+  return config;
+}
+
+TEST(GalaxyTest, ImdbClustersAreFive) {
+  exec::Database db;
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+  ds.Prepare();
+  std::vector<int> facts;
+  std::vector<int> clusters = ds.graph().ComputeClusters(&facts);
+  EXPECT_EQ(facts.size(), 5u);  // paper Figure 3: five clusters
+  // Each fact must be one of the M-N link tables.
+  for (int f : facts) {
+    const std::string& name = ds.graph().relation(f).name;
+    EXPECT_TRUE(name == "cast_info" || name == "movie_companies" ||
+                name == "movie_info" || name == "movie_keyword" ||
+                name == "person_info")
+        << name;
+  }
+  (void)clusters;
+}
+
+TEST(GalaxyTest, FactorizedAggregatesMatchMaterializedJoin) {
+  exec::Database db;
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+
+  core::TrainParams params;
+  params.boosting = "dt";
+  core::Session session(&ds, params);
+  session.Prepare();
+
+  factor::PredicateSet none;
+  semiring::VarianceElem tot =
+      session.fac().TotalAggregate(session.y_fact(), none, "test");
+
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  double c = static_cast<double>(eval.rows());
+  double s = 0;
+  for (size_t i = 0; i < eval.rows(); ++i) s += eval.YValue(i);
+
+  EXPECT_NEAR(tot.c, c, 1e-6 * c);
+  EXPECT_NEAR(tot.s, s, 1e-6 * std::fabs(s) + 1e-6);
+}
+
+TEST(GalaxyTest, ResidualUpdatePreservesAggregates) {
+  // Proposition 4.1: after updating the cluster fact's annotations with
+  // lift(−p), the factorized aggregate equals Σ (y − ŷ(t)) over the
+  // materialized join.
+  exec::Database db(EngineProfile::DSwap());
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_leaves = 4;
+  params.learning_rate = 0.5;
+  params.num_iterations = 1;
+
+  core::Session session(&ds, params);
+  session.Prepare();
+  core::GradientBoosting gb(&session, params);
+  core::TreeGrower grower(&session.fac(), params);
+  std::vector<std::string> features = ds.graph().AllFeatures();
+
+  core::Ensemble model;
+  model.base_score = session.base_score();
+
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  for (int iter = 0; iter < 3; ++iter) {
+    core::GrowthResult grown =
+        grower.Grow(features, session.y_fact(), &session.clusters());
+    for (const auto& leaf : grown.leaves) {
+      grown.tree.nodes[static_cast<size_t>(leaf.node)].prediction =
+          params.learning_rate * leaf.raw_value;
+    }
+    int fact_rel = grown.first_split_relation >= 0
+                       ? session.FactOf(grown.first_split_relation)
+                       : session.y_fact();
+    gb.UpdateResiduals(session, grown, fact_rel);
+    model.trees.push_back(grown.tree);
+
+    factor::PredicateSet none;
+    semiring::VarianceElem tot =
+        session.fac().TotalAggregate(session.y_fact(), none, "test");
+    double expected_s = 0;
+    for (size_t i = 0; i < eval.rows(); ++i) {
+      expected_s += eval.YValue(i) - eval.Predict(model, i);
+    }
+    EXPECT_NEAR(tot.s, expected_s,
+                1e-6 * std::max(1.0, std::fabs(expected_s)))
+        << "iteration " << iter;
+  }
+}
+
+TEST(GalaxyTest, CptConfinesTreesToClusters) {
+  exec::Database db(EngineProfile::DSwap());
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 6;
+  params.num_leaves = 4;
+  params.learning_rate = 0.3;
+  TrainResult res = Train(params, ds);
+
+  ds.Prepare();
+  std::vector<int> facts;
+  std::vector<int> clusters = ds.graph().ComputeClusters(&facts);
+  for (const auto& tree : res.model.trees) {
+    int tree_cluster = -1;
+    for (const auto& n : tree.nodes) {
+      if (n.is_leaf) continue;
+      int rel = ds.graph().RelationOfFeature(n.feature);
+      ASSERT_GE(rel, 0);
+      int cid = clusters[static_cast<size_t>(rel)];
+      if (tree_cluster < 0) {
+        tree_cluster = cid;
+      } else {
+        EXPECT_EQ(cid, tree_cluster)
+            << "CPT violated: split on " << n.feature;
+      }
+    }
+  }
+}
+
+TEST(GalaxyTest, GbdtOnGalaxyReducesRmse) {
+  exec::Database db(EngineProfile::DSwap());
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 10;
+  params.num_leaves = 4;
+  params.learning_rate = 0.3;
+  TrainResult res = Train(params, ds);
+
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  auto curve = eval.RmseCurve(res.model);
+  EXPECT_LT(curve.back(), 0.95 * curve.front());
+}
+
+TEST(GalaxyTest, NonRmseObjectiveRejectedOnGalaxy) {
+  exec::Database db;
+  Dataset ds = data::MakeImdb(&db, TinyImdb());
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.objective = "mae";
+  params.num_iterations = 2;
+  EXPECT_THROW(Train(params, ds), JbError);
+}
+
+}  // namespace
+}  // namespace joinboost

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "graph/join_graph.h"
+
+namespace joinboost {
+namespace graph {
+namespace {
+
+JoinGraph Snowflake() {
+  JoinGraph g;
+  g.AddRelation("fact", {"x"}, "y");
+  g.AddRelation("d1", {"f1"});
+  g.AddRelation("d2", {"f2"});
+  g.AddRelation("d3", {"f3"});  // snowflaked off d1
+  int e0 = g.AddEdge("fact", "d1", {"k1"});
+  int e1 = g.AddEdge("fact", "d2", {"k2"});
+  int e2 = g.AddEdge("d1", "d3", {"k3"});
+  g.edge(e0).unique_b = true;  // d1 unique on k1
+  g.edge(e1).unique_b = true;
+  g.edge(e2).unique_b = true;
+  return g;
+}
+
+TEST(JoinGraphTest, TreeDetection) {
+  JoinGraph g = Snowflake();
+  EXPECT_TRUE(g.IsTree());
+  g.AddEdge("d2", "d3", {"k4"});  // creates a cycle
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(JoinGraphTest, AlphaAcyclicity) {
+  JoinGraph g = Snowflake();
+  EXPECT_TRUE(g.IsAlphaAcyclic());
+
+  // Triangle R(A,B) S(B,C) T(A,C): the classic cyclic hypergraph.
+  JoinGraph cyc;
+  cyc.AddRelation("r", {});
+  cyc.AddRelation("s", {});
+  cyc.AddRelation("t", {});
+  cyc.AddEdge("r", "s", {"b"});
+  cyc.AddEdge("s", "t", {"c"});
+  cyc.AddEdge("t", "r", {"a"});
+  EXPECT_FALSE(cyc.IsAlphaAcyclic());
+}
+
+TEST(JoinGraphTest, DirectTowardsOrdersLeavesFirst) {
+  JoinGraph g = Snowflake();
+  auto dir = g.DirectTowards(0);
+  EXPECT_EQ(dir.parent[0], -1);
+  EXPECT_EQ(dir.parent[1], 0);
+  EXPECT_EQ(dir.parent[3], 1);  // d3's path to fact goes through d1
+  // Leaves-first: d3 must appear before d1, d1 before fact.
+  auto pos = [&](int r) {
+    for (size_t i = 0; i < dir.order.size(); ++i) {
+      if (dir.order[i] == r) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+}
+
+TEST(JoinGraphTest, SnowflakeFactDetection) {
+  JoinGraph g = Snowflake();
+  g.relation(0).num_rows = 1000;
+  g.relation(1).num_rows = 10;
+  g.relation(2).num_rows = 10;
+  g.relation(3).num_rows = 5;
+  EXPECT_TRUE(g.IsSnowflakeFact(0));
+  EXPECT_FALSE(g.IsSnowflakeFact(1));
+
+  std::vector<int> facts;
+  std::vector<int> clusters = g.ComputeClusters(&facts);
+  EXPECT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0], 0);
+  for (int c : clusters) EXPECT_EQ(c, 0);
+}
+
+TEST(JoinGraphTest, GalaxyClusters) {
+  // Two facts sharing a dimension: fact1 - dim - fact2.
+  JoinGraph g;
+  g.AddRelation("fact1", {}, "y");
+  g.AddRelation("dim", {});
+  g.AddRelation("fact2", {});
+  int e0 = g.AddEdge("fact1", "dim", {"k"});
+  int e1 = g.AddEdge("dim", "fact2", {"k2"});
+  g.edge(e0).unique_b = true;   // dim unique toward fact1
+  g.edge(e1).unique_a = true;   // dim unique toward fact2
+  g.relation(0).num_rows = 1000;
+  g.relation(1).num_rows = 10;
+  g.relation(2).num_rows = 900;
+
+  std::vector<int> facts;
+  std::vector<int> clusters = g.ComputeClusters(&facts);
+  EXPECT_EQ(facts.size(), 2u);
+  EXPECT_EQ(clusters[0], clusters[1]);  // dim joins the bigger fact first
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(JoinGraphTest, FeatureLookupAndValidation) {
+  JoinGraph g = Snowflake();
+  EXPECT_EQ(g.RelationOfFeature("f2"), 2);
+  EXPECT_EQ(g.RelationOfFeature("zzz"), -1);
+  EXPECT_EQ(g.YRelation(), 0);
+  EXPECT_EQ(g.AllFeatures().size(), 4u);
+  EXPECT_THROW(g.AddRelation("fact"), JbError);          // duplicate
+  EXPECT_THROW(g.AddEdge("fact", "nope", {"k"}), JbError);
+  EXPECT_THROW(g.AddEdge("fact", "d1", {}), JbError);    // no keys
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace joinboost

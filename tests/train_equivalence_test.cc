@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "joinboost.h"
+#include "util/rng.h"
+
+namespace joinboost {
+namespace {
+
+/// Build a small snowflake: fact(k1, k2, x0, y) ⋈ d1(k1, f1) ⋈ d2(k2, f2).
+void BuildSmallSnowflake(exec::Database* db, uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  const int64_t kD1 = 17, kD2 = 11;
+  std::vector<int64_t> k1(rows), k2(rows);
+  std::vector<double> x0(rows), y(rows);
+  std::vector<int64_t> d1k(static_cast<size_t>(kD1)),
+      d2k(static_cast<size_t>(kD2));
+  std::vector<double> f1(static_cast<size_t>(kD1)),
+      f2(static_cast<size_t>(kD2));
+  for (int64_t i = 0; i < kD1; ++i) {
+    d1k[static_cast<size_t>(i)] = i;
+    f1[static_cast<size_t>(i)] = static_cast<double>(rng.NextInt(1, 1000));
+  }
+  for (int64_t i = 0; i < kD2; ++i) {
+    d2k[static_cast<size_t>(i)] = i;
+    f2[static_cast<size_t>(i)] = static_cast<double>(rng.NextInt(1, 1000));
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    k1[i] = rng.NextInt(0, kD1 - 1);
+    k2[i] = rng.NextInt(0, kD2 - 1);
+    x0[i] = rng.NextDouble() * 10;
+    y[i] = 3.0 * x0[i] + 0.01 * f1[static_cast<size_t>(k1[i])] -
+           0.02 * f2[static_cast<size_t>(k2[i])] + rng.NextGaussian();
+  }
+  db->RegisterTable(TableBuilder("fact")
+                        .AddInts("k1", k1)
+                        .AddInts("k2", k2)
+                        .AddDoubles("x0", x0)
+                        .AddDoubles("y", y)
+                        .Build());
+  db->RegisterTable(
+      TableBuilder("d1").AddInts("k1", d1k).AddDoubles("f1", f1).Build());
+  db->RegisterTable(
+      TableBuilder("d2").AddInts("k2", d2k).AddDoubles("f2", f2).Build());
+}
+
+Dataset MakeDataset(exec::Database* db) {
+  Dataset ds(db);
+  ds.AddTable("fact", {"x0"}, "y");
+  ds.AddTable("d1", {"f1"});
+  ds.AddTable("d2", {"f2"});
+  ds.AddJoin("fact", "d1", {"k1"});
+  ds.AddJoin("fact", "d2", {"k2"});
+  return ds;
+}
+
+class TrainEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrainEquivalenceTest, FactorizedDecisionTreeEqualsNaive) {
+  exec::Database db(EngineProfile::DSwap());
+  BuildSmallSnowflake(&db, GetParam(), 400);
+  Dataset ds = MakeDataset(&db);
+
+  core::TrainParams params;
+  params.boosting = "dt";
+  params.num_leaves = 8;
+
+  params.variant = "factorized";
+  TrainResult fact = Train(params, ds);
+
+  Dataset ds2 = MakeDataset(&db);
+  params.variant = "naive";
+  TrainResult naive = Train(params, ds2);
+
+  // Identical greedy algorithm on identical data => identical trees.
+  ASSERT_EQ(fact.model.trees.size(), 1u);
+  ASSERT_EQ(naive.model.trees.size(), 1u);
+  const auto& ft = fact.model.trees[0];
+  const auto& nt = naive.model.trees[0];
+  ASSERT_EQ(ft.nodes.size(), nt.nodes.size());
+  for (size_t i = 0; i < ft.nodes.size(); ++i) {
+    EXPECT_EQ(ft.nodes[i].is_leaf, nt.nodes[i].is_leaf) << "node " << i;
+    if (ft.nodes[i].is_leaf) {
+      EXPECT_NEAR(ft.nodes[i].prediction, nt.nodes[i].prediction, 1e-6);
+      EXPECT_NEAR(ft.nodes[i].count, nt.nodes[i].count, 1e-9);
+    } else {
+      EXPECT_EQ(ft.nodes[i].feature, nt.nodes[i].feature) << "node " << i;
+      EXPECT_NEAR(ft.nodes[i].threshold, nt.nodes[i].threshold, 1e-9);
+    }
+  }
+}
+
+TEST_P(TrainEquivalenceTest, BatchVariantSameModelMoreQueries) {
+  exec::Database db(EngineProfile::DSwap());
+  BuildSmallSnowflake(&db, GetParam(), 300);
+
+  core::TrainParams params;
+  params.boosting = "dt";
+  params.num_leaves = 8;
+
+  Dataset ds1 = MakeDataset(&db);
+  params.variant = "factorized";
+  TrainResult fact = Train(params, ds1);
+
+  Dataset ds2 = MakeDataset(&db);
+  params.variant = "batch";
+  TrainResult batch = Train(params, ds2);
+
+  EXPECT_EQ(fact.model.trees[0].nodes.size(), batch.model.trees[0].nodes.size());
+  // Message caching must strictly reduce materialized message work (§5.5.1).
+  EXPECT_GT(fact.cache_hits, 0u);
+  EXPECT_EQ(batch.cache_hits, 0u);
+}
+
+TEST_P(TrainEquivalenceTest, GbdtUpdateStrategiesAgree) {
+  uint64_t seed = GetParam();
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 5;
+  params.num_leaves = 4;
+  params.learning_rate = 0.3;
+
+  std::vector<double> rmse;
+  for (const char* strategy : {"swap", "create", "update", "naive_u"}) {
+    exec::Database db(EngineProfile::DSwap());
+    BuildSmallSnowflake(&db, seed, 300);
+    Dataset ds = MakeDataset(&db);
+    params.update_strategy = strategy;
+    TrainResult res = Train(params, ds);
+    core::JoinedEval eval = core::MaterializeJoin(ds);
+    rmse.push_back(eval.Rmse(res.model));
+  }
+  for (size_t i = 1; i < rmse.size(); ++i) {
+    EXPECT_NEAR(rmse[0], rmse[i], 1e-9) << "strategy index " << i;
+  }
+}
+
+TEST_P(TrainEquivalenceTest, GbdtReducesRmseMonotonically) {
+  exec::Database db(EngineProfile::DSwap());
+  BuildSmallSnowflake(&db, GetParam(), 500);
+  Dataset ds = MakeDataset(&db);
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 10;
+  params.num_leaves = 8;
+  params.learning_rate = 0.3;
+  TrainResult res = Train(params, ds);
+
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  std::vector<double> curve = eval.RmseCurve(res.model);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_LT(curve.back(), curve.front() * 0.8);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainEquivalenceTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace joinboost
