@@ -20,7 +20,6 @@ int main() {
   config.sales_rows = jb::bench::ScaledRows(40000);
 
   const std::vector<int> checkpoints = {5, 10, 25, 50};
-  const int max_iters = checkpoints.back();
 
   for (const char* mode : {"rf", "gbdt"}) {
     bool is_rf = std::string(mode) == "rf";

@@ -4,19 +4,12 @@
 #include "baselines/histogram_gbdt.h"
 #include "data/generators.h"
 #include "joinboost.h"
+#include "test_util.h"
 
 namespace joinboost {
 namespace {
 
-data::FavoritaConfig TinyFavorita() {
-  data::FavoritaConfig config;
-  config.sales_rows = 5000;
-  config.num_items = 100;
-  config.num_stores = 10;
-  config.num_dates = 50;
-  config.extra_features_per_dim = 1;
-  return config;
-}
+using test_util::TinyFavorita;
 
 TEST(FavoritaIntegrationTest, GbdtMatchesHistogramBaselineRmse) {
   exec::Database db(EngineProfile::DSwap());

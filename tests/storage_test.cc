@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 
 #include "util/check.h"
 #include "util/hash.h"
@@ -11,6 +12,7 @@
 #include "storage/mvcc.h"
 #include "storage/table.h"
 #include "storage/wal.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace joinboost {
@@ -136,6 +138,22 @@ TEST(WalTest, DiskSpillAndTruncate) {
   EXPECT_EQ(wal.VerifyAll(), 1u);
   wal.Truncate();
   EXPECT_EQ(wal.num_records(), 0u);
+}
+
+TEST(WalTest, DiskSpillToExplicitPath) {
+  // Same as above but through the caller-supplied-path branch.
+  test_util::TempDir tmp;
+  std::string path = tmp.File("wal.bin");
+  std::vector<double> big(10000, 2.71);
+  {
+    WriteAheadLog wal(/*spill_to_disk=*/true, path);
+    wal.LogDoubles("f", "s", {}, big);
+    EXPECT_EQ(wal.VerifyAll(), 1u);
+    EXPECT_GT(wal.bytes_written(), big.size() * sizeof(double));
+    // The payload must actually reach the supplied path (the dtor unlinks it).
+    EXPECT_GE(std::filesystem::file_size(path), big.size() * sizeof(double));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(WalTest, ReplayRestoresColumnAfterCrash) {

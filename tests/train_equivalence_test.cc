@@ -2,57 +2,19 @@
 
 #include <cmath>
 
+#include "baselines/dense_dataset.h"
+#include "baselines/histogram_gbdt.h"
 #include "joinboost.h"
-#include "util/rng.h"
+#include "test_util.h"
 
 namespace joinboost {
 namespace {
 
-/// Build a small snowflake: fact(k1, k2, x0, y) ⋈ d1(k1, f1) ⋈ d2(k2, f2).
-void BuildSmallSnowflake(exec::Database* db, uint64_t seed, size_t rows) {
-  Rng rng(seed);
-  const int64_t kD1 = 17, kD2 = 11;
-  std::vector<int64_t> k1(rows), k2(rows);
-  std::vector<double> x0(rows), y(rows);
-  std::vector<int64_t> d1k(static_cast<size_t>(kD1)),
-      d2k(static_cast<size_t>(kD2));
-  std::vector<double> f1(static_cast<size_t>(kD1)),
-      f2(static_cast<size_t>(kD2));
-  for (int64_t i = 0; i < kD1; ++i) {
-    d1k[static_cast<size_t>(i)] = i;
-    f1[static_cast<size_t>(i)] = static_cast<double>(rng.NextInt(1, 1000));
-  }
-  for (int64_t i = 0; i < kD2; ++i) {
-    d2k[static_cast<size_t>(i)] = i;
-    f2[static_cast<size_t>(i)] = static_cast<double>(rng.NextInt(1, 1000));
-  }
-  for (size_t i = 0; i < rows; ++i) {
-    k1[i] = rng.NextInt(0, kD1 - 1);
-    k2[i] = rng.NextInt(0, kD2 - 1);
-    x0[i] = rng.NextDouble() * 10;
-    y[i] = 3.0 * x0[i] + 0.01 * f1[static_cast<size_t>(k1[i])] -
-           0.02 * f2[static_cast<size_t>(k2[i])] + rng.NextGaussian();
-  }
-  db->RegisterTable(TableBuilder("fact")
-                        .AddInts("k1", k1)
-                        .AddInts("k2", k2)
-                        .AddDoubles("x0", x0)
-                        .AddDoubles("y", y)
-                        .Build());
-  db->RegisterTable(
-      TableBuilder("d1").AddInts("k1", d1k).AddDoubles("f1", f1).Build());
-  db->RegisterTable(
-      TableBuilder("d2").AddInts("k2", d2k).AddDoubles("f2", f2).Build());
-}
+using test_util::BuildSmallSnowflake;
+using test_util::RelNear;
 
 Dataset MakeDataset(exec::Database* db) {
-  Dataset ds(db);
-  ds.AddTable("fact", {"x0"}, "y");
-  ds.AddTable("d1", {"f1"});
-  ds.AddTable("d2", {"f2"});
-  ds.AddJoin("fact", "d1", {"k1"});
-  ds.AddJoin("fact", "d2", {"k2"});
-  return ds;
+  return test_util::MakeSnowflakeDataset(db);
 }
 
 class TrainEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
@@ -154,6 +116,41 @@ TEST_P(TrainEquivalenceTest, GbdtReducesRmseMonotonically) {
   EXPECT_LT(curve.back(), curve.front() * 0.8);
   for (size_t i = 1; i < curve.size(); ++i) {
     EXPECT_LE(curve[i], curve[i - 1] + 1e-9) << "iteration " << i;
+  }
+}
+
+TEST_P(TrainEquivalenceTest, HistogramBaselinePredictionsMatchFactorized) {
+  // Differential test against the single-table comparator: the factorized
+  // trainer over the normalized star schema and the histogram trainer over
+  // the materialized join must produce the same per-row predictions when the
+  // baseline runs in exact mode (bins cover all distinct values).
+  exec::Database db(EngineProfile::DSwap());
+  BuildSmallSnowflake(&db, GetParam(), 400);
+  Dataset ds = MakeDataset(&db);
+
+  core::TrainParams params;
+  params.boosting = "gbdt";
+  params.num_iterations = 5;
+  params.num_leaves = 8;
+  params.learning_rate = 0.3;
+  TrainResult fact = Train(params, ds);
+
+  baselines::ExportStats export_stats;
+  baselines::DenseDataset dense =
+      baselines::MaterializeExportLoad(ds, &export_stats);
+  ASSERT_EQ(dense.num_rows, 400u);
+  core::TrainParams exact = params;
+  exact.max_bin = 1 << 20;
+  baselines::HistogramGbdt trainer(exact);
+  core::Ensemble baseline = trainer.Train(dense);
+
+  ASSERT_EQ(fact.model.trees.size(), baseline.trees.size());
+  core::JoinedEval eval = core::MaterializeJoin(ds);
+  ASSERT_EQ(eval.rows(), 400u);
+  for (size_t row = 0; row < eval.rows(); ++row) {
+    EXPECT_TRUE(RelNear(eval.Predict(fact.model, row),
+                        eval.Predict(baseline, row), 1e-6))
+        << "row " << row;
   }
 }
 
