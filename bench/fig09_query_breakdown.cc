@@ -1,7 +1,13 @@
 // Figure 9: query mix of the first gradient-boosting iteration — number of
 // feature-split vs message-passing queries, and the latency histogram.
+// Extended with a planner on/off pass: per-phase timings plus the planner's
+// scan/decompression deltas are written to BENCH_PR2.json (CI artifact).
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "data/generators.h"
@@ -11,13 +17,19 @@ namespace jb = joinboost;
 using jb::bench::Header;
 using jb::bench::Note;
 
-int main() {
-  Header("Figure 9: 1st-iteration query breakdown",
-         "num_nodes x num_features split queries (fast, <10ms-class) plus a "
-         "few message queries; the slowest queries are messages from the "
-         "fact table");
+namespace {
 
-  jb::exec::Database db(jb::EngineProfile::DSwap());
+struct Pass {
+  jb::TrainResult train;
+  jb::plan::PlanStats stats;
+  std::vector<jb::exec::Database::QueryLogEntry> log;
+  size_t features = 0;
+};
+
+Pass RunPass(bool use_planner) {
+  jb::EngineProfile profile = jb::EngineProfile::DSwap();
+  profile.use_planner = use_planner;
+  jb::exec::Database db(profile);
   jb::data::FavoritaConfig config;
   config.sales_rows = jb::bench::ScaledRows(100000);
   jb::Dataset ds = jb::data::MakeFavorita(&db, config);
@@ -27,18 +39,101 @@ int main() {
   params.num_iterations = 1;
   params.num_leaves = 8;
   db.ClearQueryLog();
-  jb::TrainResult res = jb::Train(params, ds);
+  db.ClearPlanStats();
+  Pass pass;
+  pass.train = jb::Train(params, ds);
+  pass.stats = db.PlanStatsTotals();
+  pass.log = db.QueryLog();
+  pass.features = ds.graph().AllFeatures().size();
+  return pass;
+}
 
-  size_t features = ds.graph().AllFeatures().size();
+void EmitPass(std::FILE* f, const char* name, const Pass& p, bool last) {
+  const jb::plan::PlanStats& s = p.stats;
+  std::fprintf(
+      f,
+      "  \"%s\": {\n"
+      "    \"seconds\": %.4f,\n"
+      "    \"message_seconds\": %.4f,\n"
+      "    \"feature_seconds\": %.4f,\n"
+      "    \"update_seconds\": %.4f,\n"
+      "    \"message_queries\": %zu,\n"
+      "    \"feature_queries\": %zu,\n"
+      "    \"queries_planned\": %zu,\n"
+      "    \"rows_scan_input\": %zu,\n"
+      "    \"rows_scan_output\": %zu,\n"
+      "    \"cols_scanned\": %zu,\n"
+      "    \"cols_pruned\": %zu,\n"
+      "    \"cols_decompressed\": %zu,\n"
+      "    \"cells_decompressed\": %zu,\n"
+      "    \"predicates_pushed\": %zu,\n"
+      "    \"joins_reordered\": %zu\n"
+      "  }%s\n",
+      name, p.train.seconds, p.train.message_seconds, p.train.feature_seconds,
+      p.train.update_seconds, p.train.message_queries, p.train.feature_queries,
+      s.queries_planned, s.rows_scan_input, s.rows_scan_output, s.cols_scanned,
+      s.cols_pruned, s.cols_decompressed, s.cells_decompressed,
+      s.predicates_pushed, s.joins_reordered, last ? "" : ",");
+}
+
+double Reduction(size_t off, size_t on) {
+  if (off == 0) return 0.0;
+  return 1.0 - static_cast<double>(on) / static_cast<double>(off);
+}
+
+void WriteJson(const Pass& on, const Pass& off, size_t sales_rows) {
+  const char* path = std::getenv("JB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') path = "BENCH_PR2.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("  -- could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig09_query_breakdown\",\n"
+               "  \"scale\": %.3f,\n"
+               "  \"sales_rows\": %zu,\n",
+               jb::bench::Scale(), sales_rows);
+  EmitPass(f, "planner_on", on, /*last=*/false);
+  EmitPass(f, "planner_off", off, /*last=*/false);
+  std::fprintf(
+      f,
+      "  \"delta\": {\n"
+      "    \"rows_scanned_reduction\": %.4f,\n"
+      "    \"cols_decompressed_reduction\": %.4f,\n"
+      "    \"cells_decompressed_reduction\": %.4f,\n"
+      "    \"speedup\": %.3f\n"
+      "  }\n"
+      "}\n",
+      Reduction(off.stats.rows_scan_output, on.stats.rows_scan_output),
+      Reduction(off.stats.cols_decompressed, on.stats.cols_decompressed),
+      Reduction(off.stats.cells_decompressed, on.stats.cells_decompressed),
+      on.train.seconds > 0 ? off.train.seconds / on.train.seconds : 0.0);
+  std::fclose(f);
+  std::printf("  -- wrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 9: 1st-iteration query breakdown",
+         "num_nodes x num_features split queries (fast, <10ms-class) plus a "
+         "few message queries; the slowest queries are messages from the "
+         "fact table");
+
+  size_t sales_rows = jb::bench::ScaledRows(100000);
+  Pass on = RunPass(/*use_planner=*/true);
+
   std::printf("  (a) query counts: feature=%zu message=%zu\n",
-              res.feature_queries, res.message_queries);
-  Note("expected feature queries = 15 nodes x " + std::to_string(features) +
-       " features = " + std::to_string(15 * features));
+              on.train.feature_queries, on.train.message_queries);
+  Note("expected feature queries = 15 nodes x " +
+       std::to_string(on.features) +
+       " features = " + std::to_string(15 * on.features));
 
   // Latency histogram, split by tag.
-  auto log = db.QueryLog();
   std::vector<double> feature_ms, message_ms;
-  for (const auto& e : log) {
+  for (const auto& e : on.log) {
     if (e.tag == "feature") feature_ms.push_back(e.ms);
     if (e.tag == "message") message_ms.push_back(e.ms);
   }
@@ -69,5 +164,29 @@ int main() {
                     : *std::max_element(message_ms.begin(), message_ms.end());
   Note(std::string("slowest message vs slowest split query: ") +
        std::to_string(mmax) + "ms vs " + std::to_string(fmax) + "ms");
+
+  // (c) planner on/off: same workload, raw-AST execution.
+  Pass off = RunPass(/*use_planner=*/false);
+  std::printf("  (c) planner delta (on vs off):\n");
+  std::printf("      train seconds       %8.3f vs %8.3f\n", on.train.seconds,
+              off.train.seconds);
+  std::printf("      rows out of scans   %8zu vs %8zu (-%.1f%%)\n",
+              on.stats.rows_scan_output, off.stats.rows_scan_output,
+              100 * Reduction(off.stats.rows_scan_output,
+                              on.stats.rows_scan_output));
+  std::printf("      cols decompressed   %8zu vs %8zu (-%.1f%%)\n",
+              on.stats.cols_decompressed, off.stats.cols_decompressed,
+              100 * Reduction(off.stats.cols_decompressed,
+                              on.stats.cols_decompressed));
+  std::printf("      cells decompressed  %8zu vs %8zu (-%.1f%%)\n",
+              on.stats.cells_decompressed, off.stats.cells_decompressed,
+              100 * Reduction(off.stats.cells_decompressed,
+                              on.stats.cells_decompressed));
+  Note("planner rules fired: pushed=" +
+       std::to_string(on.stats.predicates_pushed) +
+       " folded=" + std::to_string(on.stats.constants_folded) +
+       " reordered=" + std::to_string(on.stats.joins_reordered));
+
+  WriteJson(on, off, sales_rows);
   return 0;
 }

@@ -22,7 +22,9 @@ int main() {
                    .Build());
 
   std::printf("joinboost sql shell — tables: r(a,b), s(a,c). "
-              "\\dt lists tables, \\q quits.\n");
+              "\\dt lists tables, \\q quits.\n"
+              "EXPLAIN SELECT ... prints the logical plan "
+              "(pushdown, pruning, join order).\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -39,6 +41,14 @@ int main() {
       auto res = db.Execute(line);
       if (res.table) {
         const auto& t = *res.table;
+        if (t.cols.size() == 1 && t.cols[0].name == "plan" &&
+            t.cols[0].data.type == TypeId::kString) {
+          // EXPLAIN output: print every line verbatim, no padding/limit.
+          for (size_t r = 0; r < t.rows; ++r) {
+            std::printf("%s\n", t.GetValue(r, 0).s.c_str());
+          }
+          continue;
+        }
         for (const auto& c : t.cols) std::printf("%12s", c.name.c_str());
         std::printf("\n");
         for (size_t r = 0; r < std::min<size_t>(t.rows, 20); ++r) {

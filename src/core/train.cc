@@ -42,6 +42,7 @@ TrainResult Train(const core::TrainParams& params, Dataset& dataset) {
   double feature0 = db.TotalMsForTag("feature");
   size_t nmsg0 = db.CountForTag("message");
   size_t nfeat0 = db.CountForTag("feature");
+  plan::PlanStats plan0 = db.PlanStatsTotals();
 
   Timer timer;
   core::Session session(&dataset, params);
@@ -68,6 +69,7 @@ TrainResult Train(const core::TrainParams& params, Dataset& dataset) {
   res.feature_queries = db.CountForTag("feature") - nfeat0;
   res.cache_hits = session.fac().cache_hits();
   res.cache_misses = session.fac().cache_misses();
+  res.plan_stats = db.PlanStatsTotals() - plan0;
   return res;
 }
 

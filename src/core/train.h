@@ -5,6 +5,7 @@
 #include "core/dataset.h"
 #include "core/model.h"
 #include "core/params.h"
+#include "plan/logical_plan.h"
 
 namespace joinboost {
 
@@ -19,6 +20,10 @@ struct TrainResult {
   size_t feature_queries = 0;
   size_t cache_hits = 0;       ///< message-cache hits (§5.5.1)
   size_t cache_misses = 0;
+
+  /// Planner/scan counters over the run: rows scanned, columns pruned and
+  /// decompressed, predicates pushed (delta of Database::PlanStatsTotals).
+  plan::PlanStats plan_stats;
 };
 
 /// Train a model over a normalized dataset: the paper's

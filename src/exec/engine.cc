@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
+#include "sql/expr_util.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/hash.h"
@@ -14,22 +16,10 @@ namespace exec {
 
 namespace {
 
-/// Collect column references of an expression, skipping subquery interiors.
-void CollectColumnRefs(const sql::ExprPtr& e,
-                       std::vector<const sql::Expr*>* out) {
-  if (!e) return;
-  if (e->kind == sql::ExprKind::kColumnRef) {
-    out->push_back(e.get());
-    return;
-  }
-  if (e->kind == sql::ExprKind::kInSubquery) {
-    for (const auto& a : e->args) CollectColumnRefs(a, out);
-    return;  // subquery body resolves independently
-  }
-  for (const auto& a : e->args) CollectColumnRefs(a, out);
-  for (const auto& a : e->partition_by) CollectColumnRefs(a, out);
-  for (const auto& a : e->order_by) CollectColumnRefs(a, out);
-}
+using sql::CollectColumnRefs;
+using sql::CombineConjuncts;
+using sql::OutputName;
+using sql::SplitConjuncts;
 
 /// True when every column ref of `e` resolves against `t`.
 bool ResolvesAgainst(const sql::ExprPtr& e, const ExecTable& t) {
@@ -39,25 +29,6 @@ bool ResolvesAgainst(const sql::ExprPtr& e, const ExecTable& t) {
     if (t.Find(r->table, r->column) < 0) return false;
   }
   return true;
-}
-
-void SplitConjuncts(const sql::ExprPtr& e, std::vector<sql::ExprPtr>* out) {
-  if (!e) return;
-  if (e->kind == sql::ExprKind::kBinary && e->op == "AND") {
-    SplitConjuncts(e->args[0], out);
-    SplitConjuncts(e->args[1], out);
-    return;
-  }
-  out->push_back(e);
-}
-
-sql::ExprPtr CombineConjuncts(const std::vector<sql::ExprPtr>& cs) {
-  if (cs.empty()) return nullptr;
-  sql::ExprPtr acc = cs[0];
-  for (size_t i = 1; i < cs.size(); ++i) {
-    acc = sql::Expr::Binary("AND", acc, cs[i]);
-  }
-  return acc;
 }
 
 /// Register overrides for select-list subtrees that textually match a
@@ -82,10 +53,50 @@ void OverrideGroupRefs(const sql::ExprPtr& e,
   }
 }
 
-std::string OutputName(const sql::Expr& item, size_t index) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.kind == sql::ExprKind::kColumnRef) return item.column;
-  return "col" + std::to_string(index);
+/// Classify an ON conjunction into equi-join keys plus residual predicates
+/// against the actual input schemas, then hash-join. Shared between the
+/// planned and unplanned execution paths.
+ExecTable JoinWithCondition(const ExecTable& current, const ExecTable& right,
+                            const sql::ExprPtr& condition, sql::JoinType type,
+                            EvalContext& ectx, const OpContext& octx) {
+  std::vector<sql::ExprPtr> jconj;
+  SplitConjuncts(condition, &jconj);
+  std::vector<int> lkeys, rkeys;
+  std::vector<sql::ExprPtr> residual;
+  for (const auto& c : jconj) {
+    bool handled = false;
+    if (c->kind == sql::ExprKind::kBinary && c->op == "=" &&
+        c->args[0]->kind == sql::ExprKind::kColumnRef &&
+        c->args[1]->kind == sql::ExprKind::kColumnRef) {
+      const auto& a = *c->args[0];
+      const auto& b = *c->args[1];
+      int la = current.Find(a.table, a.column);
+      int rb = right.Find(b.table, b.column);
+      if (la >= 0 && rb >= 0) {
+        lkeys.push_back(la);
+        rkeys.push_back(rb);
+        handled = true;
+      } else {
+        int lb = current.Find(b.table, b.column);
+        int ra = right.Find(a.table, a.column);
+        if (lb >= 0 && ra >= 0) {
+          lkeys.push_back(lb);
+          rkeys.push_back(ra);
+          handled = true;
+        }
+      }
+    }
+    if (!handled) residual.push_back(c);
+  }
+  JB_CHECK_MSG(!lkeys.empty(), "join requires at least one equi condition: "
+                                   << sql::ToSql(*condition));
+  ExecTable out = HashJoinExec(current, right, lkeys, rkeys, type, octx);
+  if (!residual.empty()) {
+    JB_CHECK_MSG(type == sql::JoinType::kInner,
+                 "residual join predicates only on inner joins");
+    out = FilterExec(out, *CombineConjuncts(residual), ectx, octx);
+  }
+  return out;
 }
 
 }  // namespace
@@ -95,6 +106,9 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
   int threads = std::max(profile_.intra_query_threads, 1);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0) threads = std::min<int>(threads, static_cast<int>(hw) * 2);
+  // Operators must never request more shards than the pool has workers:
+  // keep the clamped count and hand it to every OpContext.
+  exec_threads_ = threads;
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
 }
 
@@ -139,6 +153,9 @@ Database::Result Database::ExecuteStatement(const sql::Statement& stmt) {
     case sql::Statement::Kind::kSelect:
       res.table = std::make_shared<ExecTable>(RunSelect(*stmt.select));
       break;
+    case sql::Statement::Kind::kExplain:
+      res.table = ExecuteExplain(stmt);
+      break;
     case sql::Statement::Kind::kCreateTableAs:
       if (stmt.or_replace) catalog_.DropIfExists(stmt.table);
       ExecuteCreateTableAs(stmt);
@@ -158,23 +175,118 @@ Database::Result Database::ExecuteStatement(const sql::Statement& stmt) {
 }
 
 ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
+  plan::PlanStats local;
   OpContext octx;
   octx.row_mode = !profile_.columnar_exec;
-  octx.threads = profile_.intra_query_threads;
+  octx.threads = exec_threads_;
   octx.pool = pool_.get();
   octx.interop_scan = profile_.dataframe_interop;
+  octx.stats = &local;
 
   EvalContext ectx;
   ectx.run_subquery = [this](const sql::SelectStmt& sub) {
     return RunSelect(sub);
   };
 
-  // ---- FROM + pushdown + joins ----
+  ExecTable current;
+  if (profile_.use_planner) {
+    plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_);
+    ++local.queries_planned;
+    local.predicates_pushed += lp.predicates_pushed;
+    local.constants_folded += lp.constants_folded;
+    if (lp.joins_reordered) ++local.joins_reordered;
+    current = ExecutePlanNode(*lp.data_root, octx, ectx);
+  } else {
+    current = RunFromWhere(stmt, octx, ectx);
+  }
+  ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    plan_stats_ += local;
+  }
+  return out;
+}
+
+std::string Database::ExplainSelect(const sql::SelectStmt& stmt) {
+  plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/true);
+  return plan::Explain(lp);
+}
+
+std::shared_ptr<ExecTable> Database::ExecuteExplain(
+    const sql::Statement& stmt) {
+  std::string text = ExplainSelect(*stmt.select);
+  auto dict = std::make_shared<Dictionary>();
+  std::vector<int64_t> codes;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) codes.push_back(dict->GetOrAdd(line));
+  auto t = std::make_shared<ExecTable>();
+  t->rows = codes.size();
+  t->cols.push_back({"", "plan", VectorData::FromCodes(std::move(codes),
+                                                       std::move(dict))});
+  return t;
+}
+
+ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
+                                    EvalContext& ectx) {
+  switch (op.kind) {
+    case plan::OpKind::kScan: {
+      TablePtr base = catalog_.Get(op.table);
+      ScanSpec spec;
+      std::vector<int> subset;
+      if (op.pruned) {
+        subset.reserve(op.columns.size());
+        for (const auto& name : op.columns) {
+          int idx = base->schema().FieldIndex(name);
+          if (idx >= 0) subset.push_back(idx);
+        }
+        spec.columns = &subset;
+      }
+      spec.filter = op.filter.get();
+      spec.ectx = &ectx;
+      return ScanTable(*base, op.qualifier, octx, spec);
+    }
+    case plan::OpKind::kSubqueryScan: {
+      // The nested SELECT is planned by its own RunSelect; the child node in
+      // the tree is for EXPLAIN only.
+      ExecTable t = RunSelect(*op.subquery);
+      for (auto& c : t.cols) c.qualifier = op.qualifier;
+      if (op.filter) t = FilterExec(t, *op.filter, ectx, octx);
+      return t;
+    }
+    case plan::OpKind::kJoin: {
+      ExecTable left = ExecutePlanNode(*op.children[0], octx, ectx);
+      ExecTable right = ExecutePlanNode(*op.children[1], octx, ectx);
+      return JoinWithCondition(left, right, op.condition, op.join_type, ectx,
+                               octx);
+    }
+    case plan::OpKind::kFilter: {
+      ExecTable t = ExecutePlanNode(*op.children[0], octx, ectx);
+      return FilterExec(t, *op.filter, ectx, octx);
+    }
+    case plan::OpKind::kNoFrom: {
+      ExecTable t;
+      t.rows = 1;  // SELECT <exprs> without FROM
+      return t;
+    }
+    default:
+      JB_THROW("logical operator is not executable in the data section");
+  }
+}
+
+ExecTable Database::RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,
+                                 EvalContext& ectx) {
+  // ---- FROM + pushdown + joins over the raw AST (planner off) ----
   std::vector<sql::ExprPtr> conjuncts;
   SplitConjuncts(stmt.where, &conjuncts);
   std::vector<bool> consumed(conjuncts.size(), false);
 
-  auto plan_ref = [&](const sql::TableRef& ref) -> ExecTable {
+  // `allow_pushdown` is false for the nullable side of outer joins:
+  // filtering it below the join changes NULL-extension semantics. Semi/anti
+  // right sides DO take pushdown — their columns vanish from the join
+  // output, so below the join is the only place those conjuncts can run.
+  auto plan_ref = [&](const sql::TableRef& ref,
+                      bool allow_pushdown) -> ExecTable {
     ExecTable t;
     if (ref.kind == sql::TableRef::Kind::kBase) {
       TablePtr base = catalog_.Get(ref.name);
@@ -183,6 +295,7 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
       t = RunSelect(*ref.subquery);
       for (auto& c : t.cols) c.qualifier = ref.Qualifier();
     }
+    if (!allow_pushdown) return t;
     // Push down single-table conjuncts.
     std::vector<sql::ExprPtr> pushed;
     for (size_t i = 0; i < conjuncts.size(); ++i) {
@@ -199,48 +312,12 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
 
   ExecTable current;
   if (stmt.has_from) {
-    current = plan_ref(stmt.from);
+    current = plan_ref(stmt.from, /*allow_pushdown=*/true);
     for (const auto& jc : stmt.joins) {
-      ExecTable right = plan_ref(jc.table);
-      // Parse equi conditions.
-      std::vector<sql::ExprPtr> jconj;
-      SplitConjuncts(jc.condition, &jconj);
-      std::vector<int> lkeys, rkeys;
-      std::vector<sql::ExprPtr> residual;
-      for (const auto& c : jconj) {
-        bool handled = false;
-        if (c->kind == sql::ExprKind::kBinary && c->op == "=" &&
-            c->args[0]->kind == sql::ExprKind::kColumnRef &&
-            c->args[1]->kind == sql::ExprKind::kColumnRef) {
-          const auto& a = *c->args[0];
-          const auto& b = *c->args[1];
-          int la = current.Find(a.table, a.column);
-          int rb = right.Find(b.table, b.column);
-          if (la >= 0 && rb >= 0) {
-            lkeys.push_back(la);
-            rkeys.push_back(rb);
-            handled = true;
-          } else {
-            int lb = current.Find(b.table, b.column);
-            int ra = right.Find(a.table, a.column);
-            if (lb >= 0 && ra >= 0) {
-              lkeys.push_back(lb);
-              rkeys.push_back(ra);
-              handled = true;
-            }
-          }
-        }
-        if (!handled) residual.push_back(c);
-      }
-      JB_CHECK_MSG(!lkeys.empty(),
-                   "join requires at least one equi condition: "
-                       << sql::ToSql(*jc.condition));
-      current = HashJoinExec(current, right, lkeys, rkeys, jc.type, octx);
-      if (!residual.empty()) {
-        JB_CHECK_MSG(jc.type == sql::JoinType::kInner,
-                     "residual join predicates only on inner joins");
-        current = FilterExec(current, *CombineConjuncts(residual), ectx, octx);
-      }
+      ExecTable right =
+          plan_ref(jc.table, jc.type != sql::JoinType::kLeft);
+      current = JoinWithCondition(current, right, jc.condition, jc.type, ectx,
+                                  octx);
     }
   } else {
     current.rows = 1;  // SELECT <exprs> without FROM
@@ -254,7 +331,12 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
   if (!remaining.empty()) {
     current = FilterExec(current, *CombineConjuncts(remaining), ectx, octx);
   }
+  return current;
+}
 
+ExecTable Database::FinishSelect(const sql::SelectStmt& stmt,
+                                 ExecTable current, OpContext& octx,
+                                 EvalContext& ectx) {
   // ---- aggregation / windows ----
   std::vector<const sql::Expr*> agg_nodes;
   for (const auto& item : stmt.select_list) {
@@ -564,6 +646,16 @@ size_t Database::CountForTag(const std::string& tag) const {
     if (e.tag == tag) ++n;
   }
   return n;
+}
+
+plan::PlanStats Database::PlanStatsTotals() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return plan_stats_;
+}
+
+void Database::ClearPlanStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  plan_stats_ = plan::PlanStats();
 }
 
 }  // namespace exec

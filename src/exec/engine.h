@@ -7,6 +7,7 @@
 
 #include "exec/operators.h"
 #include "exec/vector.h"
+#include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 #include "storage/engine_profile.h"
@@ -49,7 +50,15 @@ class Database {
   double QueryScalarDouble(const std::string& sql, const std::string& tag = "");
 
   /// Execute a parsed SELECT (internal fast path; still logged-free).
+  /// Routes through the logical planner unless profile().use_planner is off,
+  /// in which case the raw AST is executed (differential-test path).
   ExecTable RunSelect(const sql::SelectStmt& stmt);
+
+  /// Plan a SELECT and render its operator tree (the EXPLAIN statement).
+  std::string ExplainSelect(const sql::SelectStmt& stmt);
+
+  /// Intra-query thread budget after clamping to the pool size.
+  int exec_threads() const { return exec_threads_; }
 
   /// Register a table without storage-profile processing (test datasets).
   void RegisterTable(const TablePtr& table);
@@ -80,20 +89,40 @@ class Database {
   double TotalMsForTag(const std::string& tag) const;
   size_t CountForTag(const std::string& tag) const;
 
+  /// Accumulated planner/scan counters since construction or ClearPlanStats.
+  plan::PlanStats PlanStatsTotals() const;
+  void ClearPlanStats();
+
  private:
   Result ExecuteStatement(const sql::Statement& stmt);
   size_t ExecuteUpdate(const sql::Statement& stmt);
   void ExecuteCreateTableAs(const sql::Statement& stmt);
+  std::shared_ptr<ExecTable> ExecuteExplain(const sql::Statement& stmt);
+
+  /// Legacy data-section execution over the raw AST (planner off).
+  ExecTable RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,
+                         EvalContext& ectx);
+  /// Recursive executor for the planned data section.
+  ExecTable ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
+                            EvalContext& ectx);
+  /// Shared finishing pipeline: aggregation/windows, projection, DISTINCT,
+  /// ORDER BY, LIMIT.
+  ExecTable FinishSelect(const sql::SelectStmt& stmt, ExecTable current,
+                         OpContext& octx, EvalContext& ectx);
 
   EngineProfile profile_;
   Catalog catalog_;
   std::unique_ptr<WriteAheadLog> wal_;
   VersionStore versions_;
   std::unique_ptr<ThreadPool> pool_;
+  int exec_threads_ = 1;  ///< profile threads clamped to the pool size
   std::mutex update_mu_;  ///< updates are single-threaded (§5.3.2)
 
   mutable std::mutex log_mu_;
   std::vector<QueryLogEntry> query_log_;
+
+  mutable std::mutex stats_mu_;
+  plan::PlanStats plan_stats_;
 };
 
 }  // namespace exec

@@ -100,23 +100,39 @@ VectorData GatherWithNulls(const VectorData& v,
 
 ExecTable ScanTable(const Table& table, const std::string& qualifier,
                     const OpContext& ctx) {
+  return ScanTable(table, qualifier, ctx, ScanSpec{});
+}
+
+ExecTable ScanTable(const Table& table, const std::string& qualifier,
+                    const OpContext& ctx, const ScanSpec& spec) {
   ExecTable out;
   out.rows = table.num_rows();
-  out.cols.reserve(table.num_columns());
+  const size_t total_cols = table.num_columns();
+  std::vector<int> all_cols;
+  if (spec.columns == nullptr) {
+    all_cols.reserve(total_cols);
+    for (size_t i = 0; i < total_cols; ++i) {
+      all_cols.push_back(static_cast<int>(i));
+    }
+  }
+  const std::vector<int>& cols = spec.columns ? *spec.columns : all_cols;
+  out.cols.reserve(cols.size());
   const bool pay_interop = ctx.interop_scan && table.dataframe();
-  for (size_t i = 0; i < table.num_columns(); ++i) {
+  size_t decompressed = 0;
+  for (int ci : cols) {
+    const size_t i = static_cast<size_t>(ci);
     const auto& col = table.column(i);
     VectorData v;
     v.type = col->type();
     v.dict = col->dict();
     if (col->encoded()) {
-      // Real decompression cost, like any compressed columnar engine.
+      // Real decompression cost, like any compressed columnar engine —
+      // but only for the columns the plan actually references.
+      ++decompressed;
       if (col->type() == TypeId::kFloat64) {
-        v.dbls = std::make_shared<const std::vector<double>>(
-            col->DecodeDoubles());
+        v.dbls = col->ScanDoubles();
       } else {
-        v.ints =
-            std::make_shared<const std::vector<int64_t>>(col->DecodeInts());
+        v.ints = col->ScanInts();
       }
     } else if (pay_interop) {
       // DP mode: the dataframe scan converts values element-by-element with
@@ -147,6 +163,24 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
       }
     }
     out.cols.push_back({qualifier, table.schema().field(i).name, std::move(v)});
+  }
+  if (spec.filter != nullptr) {
+    // Fused scan-filter: evaluate the pushed predicate over the (pruned)
+    // scan output and gather survivors in one pass.
+    JB_CHECK_MSG(spec.ectx != nullptr, "fused scan filter needs an EvalContext");
+    std::vector<uint32_t> sel =
+        EvalPredicate(*spec.filter, out, *spec.ectx, ctx.row_mode);
+    out = out.GatherRows(sel);
+  }
+  if (ctx.stats != nullptr) {
+    plan::PlanStats& s = *ctx.stats;
+    ++s.scans;
+    s.rows_scan_input += table.num_rows();
+    s.rows_scan_output += out.rows;
+    s.cols_scanned += cols.size();
+    s.cols_pruned += total_cols - cols.size();
+    s.cols_decompressed += decompressed;
+    s.cells_decompressed += decompressed * table.num_rows();
   }
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "exec/expr_eval.h"
 #include "exec/vector.h"
+#include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "storage/engine_profile.h"
 #include "storage/table.h"
@@ -18,13 +19,28 @@ struct OpContext {
   int threads = 1;             ///< intra-query parallelism
   ThreadPool* pool = nullptr;  ///< shared pool (may be null -> sequential)
   bool interop_scan = false;   ///< dataframe scans pay an extra copy (DP)
+  plan::PlanStats* stats = nullptr;  ///< optional per-query counters
+};
+
+/// Planner-driven scan parameters: column subset + fused filter.
+struct ScanSpec {
+  /// Schema indices to materialize, ascending; nullptr = all columns.
+  const std::vector<int>* columns = nullptr;
+  /// Predicate fused into the scan (evaluated over the subset, then rows are
+  /// gathered once). Requires `ectx` when set.
+  const sql::Expr* filter = nullptr;
+  EvalContext* ectx = nullptr;
 };
 
 /// Scan a base table into an ExecTable. Compressed columns are decompressed
 /// (real CPU); dataframe tables additionally pay the interop materialization
-/// pass when `ctx.interop_scan` is set (paper §5.4, DP mode).
+/// pass when `ctx.interop_scan` is set (paper §5.4, DP mode). The ScanSpec
+/// overload is the planner's fused scan-filter path: only the requested
+/// column subset is materialized/decompressed.
 ExecTable ScanTable(const Table& table, const std::string& qualifier,
                     const OpContext& ctx);
+ExecTable ScanTable(const Table& table, const std::string& qualifier,
+                    const OpContext& ctx, const ScanSpec& spec);
 
 /// Keep the rows selected by `pred`.
 ExecTable FilterExec(const ExecTable& input, const sql::Expr& pred,

@@ -1,0 +1,166 @@
+#include "plan/logical_plan.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "sql/printer.h"
+
+namespace joinboost {
+namespace plan {
+
+namespace {
+
+void AppendRows(const LogicalOp& op, std::ostream& os) {
+  if (op.est_rows < 0) {
+    os << "rows=?";
+    return;
+  }
+  os << "rows~" << static_cast<long long>(std::llround(op.est_rows));
+}
+
+void AppendCols(const LogicalOp& op, std::ostream& os) {
+  os << ", cols=";
+  if (op.est_cols < 0) {
+    os << "?";
+  } else {
+    os << op.est_cols;
+  }
+}
+
+std::string JoinTypeName(sql::JoinType t) {
+  switch (t) {
+    case sql::JoinType::kInner:
+      return "INNER";
+    case sql::JoinType::kLeft:
+      return "LEFT";
+    case sql::JoinType::kSemi:
+      return "SEMI";
+    case sql::JoinType::kAnti:
+      return "ANTI";
+  }
+  return "?";
+}
+
+std::string ProjectName(const sql::Expr& item, size_t index) {
+  if (item.kind == sql::ExprKind::kStar) return "*";
+  if (!item.alias.empty()) return item.alias;
+  if (item.kind == sql::ExprKind::kColumnRef) return item.column;
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+std::string OperatorLabel(const LogicalOp& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case OpKind::kScan: {
+      os << "Scan " << op.table;
+      if (op.qualifier != op.table) os << " AS " << op.qualifier;
+      os << " [";
+      if (op.pruned) {
+        for (size_t i = 0; i < op.columns.size(); ++i) {
+          if (i) os << ", ";
+          os << op.columns[i];
+        }
+      } else {
+        os << "*";
+      }
+      os << "]";
+      if (op.filter) os << " filter=" << sql::ToSql(*op.filter);
+      os << " (";
+      AppendRows(op, os);
+      if (op.base_rows >= 0) {
+        os << "/" << static_cast<long long>(std::llround(op.base_rows));
+      }
+      os << ", cols=" << (op.pruned ? op.columns.size() : op.table_columns)
+         << "/" << op.table_columns << ")";
+      break;
+    }
+    case OpKind::kSubqueryScan:
+      os << "SubqueryScan AS " << op.qualifier;
+      if (op.filter) os << " filter=" << sql::ToSql(*op.filter);
+      os << " (";
+      AppendRows(op, os);
+      AppendCols(op, os);
+      os << ")";
+      break;
+    case OpKind::kJoin:
+      os << "Join " << JoinTypeName(op.join_type);
+      if (op.condition) os << " on " << sql::ToSql(*op.condition);
+      if (op.filter) os << " residual=" << sql::ToSql(*op.filter);
+      os << " (";
+      AppendRows(op, os);
+      AppendCols(op, os);
+      os << ")";
+      break;
+    case OpKind::kFilter:
+      os << "Filter " << (op.filter ? sql::ToSql(*op.filter) : "TRUE");
+      os << " (";
+      AppendRows(op, os);
+      os << ")";
+      break;
+    case OpKind::kNoFrom:
+      os << "OneRow (rows~1)";
+      break;
+    case OpKind::kAggregate: {
+      os << "Aggregate keys=[";
+      for (size_t i = 0; i < op.stmt->group_by.size(); ++i) {
+        if (i) os << ", ";
+        os << sql::ToSql(*op.stmt->group_by[i]);
+      }
+      os << "] aggs=" << (op.est_cols < 0
+                              ? 0
+                              : op.est_cols -
+                                    static_cast<int>(op.stmt->group_by.size()));
+      if (op.stmt->having) os << " having=" << sql::ToSql(*op.stmt->having);
+      os << " (";
+      AppendRows(op, os);
+      AppendCols(op, os);
+      os << ")";
+      break;
+    }
+    case OpKind::kWindow:
+      os << "Window (";
+      AppendRows(op, os);
+      os << ")";
+      break;
+    case OpKind::kProject: {
+      os << "Project [";
+      for (size_t i = 0; i < op.stmt->select_list.size(); ++i) {
+        if (i) os << ", ";
+        os << ProjectName(*op.stmt->select_list[i], i);
+      }
+      os << "] (";
+      AppendRows(op, os);
+      AppendCols(op, os);
+      os << ")";
+      break;
+    }
+    case OpKind::kDistinct:
+      os << "Distinct (";
+      AppendRows(op, os);
+      os << ")";
+      break;
+    case OpKind::kSort: {
+      os << "Sort [";
+      for (size_t i = 0; i < op.stmt->order_by.size(); ++i) {
+        if (i) os << ", ";
+        os << sql::ToSql(*op.stmt->order_by[i].expr);
+        if (op.stmt->order_by[i].desc) os << " DESC";
+      }
+      os << "] (";
+      AppendRows(op, os);
+      os << ")";
+      break;
+    }
+    case OpKind::kLimit:
+      os << "Limit " << op.stmt->limit << " (";
+      AppendRows(op, os);
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace plan
+}  // namespace joinboost

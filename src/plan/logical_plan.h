@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace joinboost {
+namespace plan {
+
+/// Counters produced while planning and executing queries. The engine
+/// accumulates them per-database; trainers report the delta over a training
+/// run (Figure 9 instrumentation extended with planner effectiveness).
+struct PlanStats {
+  size_t queries_planned = 0;    ///< SELECTs that went through the planner
+  size_t scans = 0;              ///< base-table scans executed
+  size_t rows_scan_input = 0;    ///< base-table rows entering scans
+  size_t rows_scan_output = 0;   ///< rows surviving fused scan filters
+  size_t cols_scanned = 0;       ///< columns materialized by scans
+  size_t cols_pruned = 0;        ///< columns skipped via projection pruning
+  size_t cols_decompressed = 0;  ///< encoded columns actually decoded
+  size_t cells_decompressed = 0; ///< rows x decoded columns (decode volume)
+  size_t predicates_pushed = 0;  ///< WHERE conjuncts fused into scans
+  size_t constants_folded = 0;   ///< predicate subtrees folded to literals
+  size_t joins_reordered = 0;    ///< queries whose join order changed
+
+  PlanStats& operator+=(const PlanStats& o) {
+    queries_planned += o.queries_planned;
+    scans += o.scans;
+    rows_scan_input += o.rows_scan_input;
+    rows_scan_output += o.rows_scan_output;
+    cols_scanned += o.cols_scanned;
+    cols_pruned += o.cols_pruned;
+    cols_decompressed += o.cols_decompressed;
+    cells_decompressed += o.cells_decompressed;
+    predicates_pushed += o.predicates_pushed;
+    constants_folded += o.constants_folded;
+    joins_reordered += o.joins_reordered;
+    return *this;
+  }
+  PlanStats operator-(const PlanStats& o) const {
+    PlanStats d = *this;
+    d.queries_planned -= o.queries_planned;
+    d.scans -= o.scans;
+    d.rows_scan_input -= o.rows_scan_input;
+    d.rows_scan_output -= o.rows_scan_output;
+    d.cols_scanned -= o.cols_scanned;
+    d.cols_pruned -= o.cols_pruned;
+    d.cols_decompressed -= o.cols_decompressed;
+    d.cells_decompressed -= o.cells_decompressed;
+    d.predicates_pushed -= o.predicates_pushed;
+    d.constants_folded -= o.constants_folded;
+    d.joins_reordered -= o.joins_reordered;
+    return d;
+  }
+};
+
+/// Logical operator kinds. The data section (Scan/SubqueryScan/Join/Filter)
+/// is executed recursively by the engine; the upper section
+/// (Aggregate/Window/Project/Distinct/Sort/Limit) parameterizes the shared
+/// finishing pipeline and exists in the tree for EXPLAIN.
+enum class OpKind {
+  kScan,          ///< base-table scan (column subset + fused filter)
+  kSubqueryScan,  ///< derived table: a nested SELECT in FROM
+  kJoin,          ///< hash join (inner / left / semi / anti)
+  kFilter,        ///< post-join residual predicate
+  kNoFrom,        ///< SELECT <exprs> without FROM (one synthetic row)
+  kAggregate,     ///< GROUP BY + aggregate evaluation (incl. HAVING)
+  kWindow,        ///< window aggregates over the data section
+  kProject,       ///< final select-list projection
+  kDistinct,      ///< SELECT DISTINCT row dedup
+  kSort,          ///< ORDER BY
+  kLimit,         ///< LIMIT
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+struct LogicalOp {
+  OpKind kind = OpKind::kScan;
+  std::vector<LogicalOpPtr> children;
+
+  // ---- kScan / kSubqueryScan ----
+  std::string table;      ///< base table name (kScan)
+  std::string qualifier;  ///< alias / effective column qualifier
+  /// Pruned scan columns in schema order; empty + !pruned => all columns.
+  std::vector<std::string> columns;
+  bool pruned = false;           ///< columns is a strict schema subset
+  size_t table_columns = 0;      ///< total columns in the base table
+  const sql::SelectStmt* subquery = nullptr;  ///< kSubqueryScan body
+
+  /// Fused scan predicate (kScan/kSubqueryScan), residual join predicate
+  /// (kJoin) or post-join filter (kFilter). Conjunction, constant-folded.
+  sql::ExprPtr filter;
+
+  // ---- kJoin ----
+  sql::JoinType join_type = sql::JoinType::kInner;
+  sql::ExprPtr condition;  ///< full ON conjunction (equi keys + residual)
+
+  /// Upper-section nodes keep a pointer to the statement they came from.
+  const sql::SelectStmt* stmt = nullptr;
+
+  // ---- estimates (explain / join ordering) ----
+  double est_rows = -1;   ///< cardinality estimate; -1 = unknown
+  int est_cols = -1;      ///< output column estimate; -1 = unknown
+  double base_rows = -1;  ///< kScan: actual base-table row count
+};
+
+/// A planned SELECT: the full operator tree for EXPLAIN plus the data-section
+/// root the engine executes (null when the statement has no FROM clause).
+struct LogicalPlan {
+  LogicalOpPtr root;
+  LogicalOpPtr data_root;
+  const sql::SelectStmt* stmt = nullptr;
+
+  // Rule-application counters for PlanStats.
+  size_t predicates_pushed = 0;
+  size_t constants_folded = 0;
+  bool joins_reordered = false;
+};
+
+/// Lower a SELECT into a logical tree and apply the rewrite rules:
+/// constant folding, predicate pushdown, projection pruning and greedy join
+/// reordering (smallest filtered relation first, catalog row counts).
+/// `for_explain` additionally plans FROM-clause subqueries as explain-only
+/// children (execution plans them in their own RunSelect instead).
+LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
+                       bool for_explain = false);
+
+/// Render a plan as indented text, one operator per line, with per-operator
+/// row/column estimates. Deterministic (golden-tested).
+std::string Explain(const LogicalPlan& plan);
+
+/// One-line description of a single operator (no children, no indent).
+std::string OperatorLabel(const LogicalOp& op);
+
+// ---- rewrite rules (rules.cc; exposed for unit tests) ----
+
+/// Fold literal arithmetic/comparisons inside a predicate. `bool_ctx` marks
+/// positions where only truthiness matters (WHERE/ON roots and AND/OR/NOT
+/// operands), enabling TRUE/FALSE short-circuit simplification. Returns the
+/// original pointer when nothing folded; increments *folds per rewrite.
+sql::ExprPtr FoldConstants(const sql::ExprPtr& e, bool bool_ctx, int* folds);
+
+/// Heuristic selectivity of one predicate conjunct (1.0 = keeps everything).
+double EstimateSelectivity(const sql::Expr& e);
+
+/// True when `e` is an int/float literal; `truthy` receives its boolean value.
+bool IsFoldedLiteral(const sql::Expr& e, bool* truthy);
+
+}  // namespace plan
+}  // namespace joinboost

@@ -171,12 +171,17 @@ struct SelectStmt {
 };
 
 /// Top-level statements JoinBoost needs: SELECT, CREATE TABLE AS,
-/// UPDATE ... SET ... WHERE, DROP TABLE.
+/// UPDATE ... SET ... WHERE, DROP TABLE, plus EXPLAIN over a SELECT.
 struct Statement {
-  enum class Kind { kSelect, kCreateTableAs, kUpdate, kDropTable } kind =
-      Kind::kSelect;
+  enum class Kind {
+    kSelect,
+    kCreateTableAs,
+    kUpdate,
+    kDropTable,
+    kExplain,
+  } kind = Kind::kSelect;
 
-  SelectPtr select;   ///< kSelect & kCreateTableAs
+  SelectPtr select;   ///< kSelect, kCreateTableAs & kExplain
   std::string table;  ///< target of CREATE/UPDATE/DROP
   bool if_exists = false;
   bool or_replace = false;

@@ -1,0 +1,47 @@
+#include "sql/expr_util.h"
+
+namespace joinboost {
+namespace sql {
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->args[0], out);
+    SplitConjuncts(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& cs) {
+  if (cs.empty()) return nullptr;
+  ExprPtr acc = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) {
+    acc = Expr::Binary("AND", acc, cs[i]);
+  }
+  return acc;
+}
+
+void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kColumnRef) {
+    out->push_back(e.get());
+    return;
+  }
+  if (e->kind == ExprKind::kInSubquery) {
+    for (const auto& a : e->args) CollectColumnRefs(a, out);
+    return;  // subquery body resolves independently
+  }
+  for (const auto& a : e->args) CollectColumnRefs(a, out);
+  for (const auto& a : e->partition_by) CollectColumnRefs(a, out);
+  for (const auto& a : e->order_by) CollectColumnRefs(a, out);
+}
+
+std::string OutputName(const Expr& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.kind == ExprKind::kColumnRef) return item.column;
+  return "col" + std::to_string(index);
+}
+
+}  // namespace sql
+}  // namespace joinboost

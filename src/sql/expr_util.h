@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace joinboost {
+namespace sql {
+
+/// Flatten an AND-conjunction into its conjuncts (no-op for null).
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Rebuild a left-deep AND-conjunction; null for an empty list.
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& cs);
+
+/// Collect column references, skipping subquery interiors (they resolve
+/// against their own FROM clause).
+void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out);
+
+/// Output column name of a select-list item: alias, else the column name of
+/// a plain reference, else "colN". Shared by execution and planning so the
+/// planner's view of derived-table schemas matches what the engine produces.
+std::string OutputName(const Expr& item, size_t index);
+
+}  // namespace sql
+}  // namespace joinboost

@@ -35,6 +35,7 @@ const std::unordered_set<std::string>& Keywords() {
       "CASE",   "WHEN",   "THEN",   "ELSE",   "END",    "CREATE", "TABLE",
       "UPDATE", "SET",    "DROP",   "IF",     "EXISTS", "DESC",   "ASC",
       "OVER",   "PARTITION", "HAVING", "DISTINCT", "REPLACE", "BETWEEN",
+      "EXPLAIN",
   };
   return kw;
 }
@@ -155,6 +156,9 @@ class Parser {
     if (PeekKeyword("SELECT")) {
       stmt.kind = Statement::Kind::kSelect;
       stmt.select = ParseSelect();
+    } else if (AcceptKeyword("EXPLAIN")) {
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.select = ParseSelect();
     } else if (AcceptKeyword("CREATE")) {
       if (AcceptKeyword("OR")) {
         ExpectKeyword("REPLACE");
@@ -184,7 +188,8 @@ class Parser {
       }
       stmt.table = ExpectIdent();
     } else {
-      throw ParseError("expected SELECT/CREATE/UPDATE/DROP", lexer_.Peek().pos);
+      throw ParseError("expected SELECT/EXPLAIN/CREATE/UPDATE/DROP",
+                       lexer_.Peek().pos);
     }
     AcceptSymbol(";");
     if (lexer_.Peek().kind != TokKind::kEnd) {

@@ -216,6 +216,10 @@ std::string ToSql(const Statement& stmt) {
     case Statement::Kind::kSelect:
       PrintSelect(*stmt.select, os);
       break;
+    case Statement::Kind::kExplain:
+      os << "EXPLAIN ";
+      PrintSelect(*stmt.select, os);
+      break;
     case Statement::Kind::kCreateTableAs:
       os << "CREATE TABLE " << stmt.table << " AS ";
       PrintSelect(*stmt.select, os);

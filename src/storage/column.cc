@@ -123,6 +123,24 @@ std::vector<double> ColumnData::DecodeDoubles() const {
   return *dbls_;
 }
 
+std::shared_ptr<const std::vector<int64_t>> ColumnData::ScanInts() const {
+  JB_CHECK(type_ != TypeId::kFloat64);
+  if (encoded_) {
+    return std::make_shared<const std::vector<int64_t>>(
+        compression::DecodeInts(*enc_ints_));
+  }
+  return ints_;
+}
+
+std::shared_ptr<const std::vector<double>> ColumnData::ScanDoubles() const {
+  JB_CHECK(type_ == TypeId::kFloat64);
+  if (encoded_) {
+    return std::make_shared<const std::vector<double>>(
+        compression::DecodeDoubles(*enc_dbls_));
+  }
+  return dbls_;
+}
+
 void ColumnData::ReplaceInts(std::vector<int64_t> values) {
   JB_CHECK(type_ != TypeId::kFloat64);
   length_ = values.size();

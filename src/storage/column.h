@@ -82,6 +82,13 @@ class ColumnData {
   std::vector<int64_t> DecodeInts() const;
   std::vector<double> DecodeDoubles() const;
 
+  /// Per-column scan entry points: zero-copy share of the plain payload, or
+  /// a freshly decompressed copy when the column is encoded (the per-query
+  /// decode cost a real columnar engine pays). These are what the planner's
+  /// projection pruning avoids calling for unreferenced columns.
+  std::shared_ptr<const std::vector<int64_t>> ScanInts() const;
+  std::shared_ptr<const std::vector<double>> ScanDoubles() const;
+
   /// Replace the payload wholesale (CREATE-style rewrite).
   void ReplaceInts(std::vector<int64_t> values);
   void ReplaceDoubles(std::vector<double> values);

@@ -37,6 +37,11 @@ struct EngineProfile {
   /// Threads used for intra-query parallel aggregation (paper finds 4 best).
   int intra_query_threads = 4;
 
+  /// Route SELECTs through the logical planner (predicate pushdown,
+  /// projection pruning, constant folding, greedy join reordering). Off =
+  /// execute the raw AST; kept for differential testing (planner_test.cc).
+  bool use_planner = true;
+
   // ---- Presets matching the paper's systems ----
 
   /// Commercial columnar, disk-based: compression + WAL-to-disk, no swap.

@@ -126,6 +126,35 @@ TEST_F(SqlEngineTest, DistinctSelect) {
   EXPECT_EQ(res->rows, 2u);
 }
 
+TEST_F(SqlEngineTest, LeftJoinWherePredicateKeepsNullSemantics) {
+  // Regression: a WHERE predicate on the nullable side of a LEFT JOIN must
+  // run after the join. Pushing it into the right-hand scan (the engine's
+  // old behaviour) empties the build side and null-extends every row.
+  db_->RegisterTable(
+      TableBuilder("small").AddInts("a", {1}).AddInts("z", {42}).Build());
+  auto res = db_->Query(
+      "SELECT r.a AS a FROM r LEFT JOIN small ON r.a = small.a "
+      "WHERE small.z IS NULL ORDER BY a");
+  ASSERT_EQ(res->rows, 2u);  // only the a=2 rows have no match
+  EXPECT_EQ(res->GetValue(0, 0).i, 2);
+  EXPECT_EQ(res->GetValue(1, 0).i, 2);
+}
+
+TEST_F(SqlEngineTest, ExplainReturnsPlanText) {
+  auto res = db_->Query(
+      "EXPLAIN SELECT r.a AS a, COUNT(*) AS c FROM r JOIN s ON r.a = s.a "
+      "WHERE r.b >= 2 GROUP BY r.a");
+  ASSERT_GE(res->rows, 4u);
+  ASSERT_EQ(res->cols.size(), 1u);
+  EXPECT_EQ(res->cols[0].name, "plan");
+  std::string text;
+  for (size_t r = 0; r < res->rows; ++r) text += res->GetValue(r, 0).s + "\n";
+  EXPECT_NE(text.find("Aggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("Join INNER"), std::string::npos) << text;
+  EXPECT_NE(text.find("Scan r"), std::string::npos) << text;
+  EXPECT_NE(text.find("filter="), std::string::npos) << text;
+}
+
 TEST_F(SqlEngineTest, LeftJoinProducesNulls) {
   db_->RegisterTable(
       TableBuilder("small").AddInts("a", {1}).AddInts("z", {42}).Build());
@@ -247,6 +276,7 @@ TEST(SqlRoundTripTest, ParsePrintParse) {
       "CREATE TABLE x AS SELECT DISTINCT a FROM r",
       "UPDATE f SET s = s - 1.5, q = q + 2.25 WHERE d IN (SELECT d FROM m)",
       "DROP TABLE IF EXISTS msgs",
+      "EXPLAIN SELECT a, SUM(b) AS s FROM r GROUP BY a ORDER BY a",
   };
   for (const char* q : queries) {
     sql::Statement s1 = sql::Parse(q);
