@@ -1,5 +1,15 @@
 // Figure 18: (a) intra-query thread sweep for one tree; (b) inter-query
 // parallelism on/off for gradient boosting (-28%) and random forest (-35%).
+// Extended with a morsel-sweep section: the Favorita smoke query (a
+// message-passing-shaped join + GROUP BY aggregate) is timed at 1/2/4/8
+// exec_threads and the results — including morsel/steal counters — are
+// written to BENCH_PR3.json (CI artifact).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
 #include "data/generators.h"
 #include "joinboost.h"
@@ -7,7 +17,107 @@
 
 namespace jb = joinboost;
 using jb::bench::Header;
+using jb::bench::Note;
 using jb::bench::Row;
+
+namespace {
+
+/// The message-passing query shape of one boosting iteration (paper §5.3):
+/// probe the fact table, absorb a dimension message, aggregate per join key.
+const char* kSmokeQuery =
+    "SELECT sales.item_id, SUM(sales.unit_sales * items.f_item) AS g, "
+    "COUNT(*) AS c FROM sales JOIN items ON sales.item_id = items.item_id "
+    "WHERE sales.onpromotion > 0.5 GROUP BY sales.item_id";
+
+struct SweepPoint {
+  int requested = 0;
+  int effective = 0;
+  double best_seconds = 0;
+  double total_seconds = 0;
+  size_t rows_out = 0;
+  size_t morsels = 0;
+  size_t steals = 0;
+};
+
+SweepPoint RunSweepPoint(int threads, const jb::data::FavoritaConfig& config,
+                         int reps) {
+  jb::EngineProfile profile = jb::EngineProfile::DSwap();
+  profile.exec_threads = threads;
+  jb::exec::Database db(profile);
+  jb::data::MakeFavorita(&db, config);
+
+  SweepPoint pt;
+  pt.requested = threads;
+  pt.effective = db.exec_threads();
+  db.Query(kSmokeQuery);  // warm-up: touches/decompresses every column once
+  db.ClearPlanStats();
+  pt.best_seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    jb::Timer t;
+    auto res = db.Query(kSmokeQuery);
+    double s = t.Seconds();
+    pt.rows_out = res->rows;
+    pt.total_seconds += s;
+    pt.best_seconds = std::min(pt.best_seconds, s);
+  }
+  jb::plan::PlanStats stats = db.PlanStatsTotals();
+  pt.morsels = stats.morsels_dispatched;
+  pt.steals = stats.morsels_stolen;
+  return pt;
+}
+
+void WriteJson(const std::vector<SweepPoint>& sweep, size_t sales_rows,
+               int reps) {
+  const char* path = std::getenv("JB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') path = "BENCH_PR3.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", path);
+    return;
+  }
+  double t1 = 0;
+  for (const auto& pt : sweep) {
+    if (pt.requested == 1) t1 = pt.best_seconds;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"figure\": \"fig18_morsel_sweep\",\n"
+               "  \"query\": \"favorita_smoke_message\",\n"
+               "  \"sales_rows\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"threads\": {\n",
+               sales_rows, reps);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& pt = sweep[i];
+    std::fprintf(f,
+                 "    \"%d\": {\n"
+                 "      \"effective_threads\": %d,\n"
+                 "      \"best_seconds\": %.6f,\n"
+                 "      \"total_seconds\": %.6f,\n"
+                 "      \"rows_out\": %zu,\n"
+                 "      \"morsels_dispatched\": %zu,\n"
+                 "      \"morsels_stolen\": %zu,\n"
+                 "      \"speedup_vs_1\": %.3f\n"
+                 "    }%s\n",
+                 pt.requested, pt.effective, pt.best_seconds, pt.total_seconds,
+                 pt.rows_out, pt.morsels, pt.steals,
+                 pt.best_seconds > 0 ? t1 / pt.best_seconds : 0.0,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  double t4 = 0;
+  for (const auto& pt : sweep) {
+    if (pt.requested == 4) t4 = pt.best_seconds;
+  }
+  std::fprintf(f,
+               "  },\n"
+               "  \"speedup_4_threads\": %.3f\n"
+               "}\n",
+               t4 > 0 ? t1 / t4 : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
 
 int main() {
   jb::data::FavoritaConfig config;
@@ -17,7 +127,7 @@ int main() {
          "improves up to ~4 threads, then diminishing returns");
   for (int threads : {1, 2, 4, 8, 16}) {
     jb::EngineProfile profile = jb::EngineProfile::DSwap();
-    profile.intra_query_threads = threads;
+    profile.exec_threads = threads;
     jb::exec::Database db(profile);
     jb::Dataset ds = jb::data::MakeFavorita(&db, config);
     jb::core::TrainParams params;
@@ -34,7 +144,7 @@ int main() {
   for (const char* mode : {"gbdt", "rf"}) {
     for (bool para : {false, true}) {
       jb::EngineProfile profile = jb::EngineProfile::DSwap();
-      profile.intra_query_threads = para ? 4 : 16;
+      profile.exec_threads = para ? 4 : 16;
       jb::exec::Database db(profile);
       jb::Dataset ds = jb::data::MakeFavorita(&db, config);
       jb::core::TrainParams params;
@@ -47,5 +157,24 @@ int main() {
       Row(std::string(mode) + (para ? " para" : " w/o"), t.Seconds());
     }
   }
+
+  Header("Morsel sweep: Favorita smoke query, 1/2/4/8 exec_threads",
+         "morsel-driven scan/join/agg; bit-identical results per thread "
+         "count; BENCH_PR3.json artifact");
+  jb::data::FavoritaConfig sweep_config;
+  sweep_config.sales_rows = jb::bench::ScaledRows(400000);
+  const int reps = 5;
+  std::vector<SweepPoint> sweep;
+  for (int threads : {1, 2, 4, 8}) {
+    SweepPoint pt = RunSweepPoint(threads, sweep_config, reps);
+    sweep.push_back(pt);
+    Row("threads=" + std::to_string(pt.requested) +
+            " (effective=" + std::to_string(pt.effective) + ")",
+        pt.best_seconds);
+    Note("morsels=" + std::to_string(pt.morsels) +
+         " stolen=" + std::to_string(pt.steals) +
+         " rows_out=" + std::to_string(pt.rows_out));
+  }
+  WriteJson(sweep, sweep_config.sales_rows, reps);
   return 0;
 }

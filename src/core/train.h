@@ -22,7 +22,8 @@ struct TrainResult {
   size_t cache_misses = 0;
 
   /// Planner/scan counters over the run: rows scanned, columns pruned and
-  /// decompressed, predicates pushed (delta of Database::PlanStatsTotals).
+  /// decompressed, predicates pushed, morsels dispatched/stolen by the
+  /// parallel operators (delta of Database::PlanStatsTotals).
   plan::PlanStats plan_stats;
 };
 

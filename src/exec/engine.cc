@@ -103,7 +103,7 @@ ExecTable JoinWithCondition(const ExecTable& current, const ExecTable& right,
 
 Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
   wal_ = std::make_unique<WriteAheadLog>(profile_.wal_to_disk);
-  int threads = std::max(profile_.intra_query_threads, 1);
+  int threads = std::max(profile_.exec_threads, 1);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0) threads = std::min<int>(threads, static_cast<int>(hw) * 2);
   // Operators must never request more shards than the pool has workers:
@@ -182,6 +182,8 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
   octx.pool = pool_.get();
   octx.interop_scan = profile_.dataframe_interop;
   octx.stats = &local;
+  octx.morsel_rows = profile_.morsel_rows;
+  octx.parallel_threshold = profile_.parallel_threshold_rows;
 
   EvalContext ectx;
   ectx.run_subquery = [this](const sql::SelectStmt& sub) {
@@ -190,7 +192,9 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
 
   ExecTable current;
   if (profile_.use_planner) {
-    plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_);
+    plan::LogicalPlan lp =
+        plan::PlanSelect(stmt, catalog_, /*for_explain=*/false,
+                         parallel_policy());
     ++local.queries_planned;
     local.predicates_pushed += lp.predicates_pushed;
     local.constants_folded += lp.constants_folded;
@@ -208,8 +212,17 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
 }
 
 std::string Database::ExplainSelect(const sql::SelectStmt& stmt) {
-  plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/true);
+  plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/true,
+                                          parallel_policy());
   return plan::Explain(lp);
+}
+
+plan::ParallelPolicy Database::parallel_policy() const {
+  plan::ParallelPolicy p;
+  p.threads = profile_.columnar_exec ? exec_threads_ : 1;  // X-row is serial
+  p.morsel_rows = profile_.morsel_rows;
+  p.threshold_rows = profile_.parallel_threshold_rows;
+  return p;
 }
 
 std::shared_ptr<ExecTable> Database::ExecuteExplain(
@@ -430,7 +443,7 @@ ExecTable Database::FinishSelect(const sql::SelectStmt& stmt,
   if (!stmt.order_by.empty()) {
     EvalContext octx2;
     octx2.run_subquery = ectx.run_subquery;
-    projected = SortExec(projected, stmt.order_by, octx2);
+    projected = SortExec(projected, stmt.order_by, octx2, octx);
   }
   if (stmt.limit >= 0) projected = LimitExec(projected, stmt.limit);
   return projected;

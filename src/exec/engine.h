@@ -60,6 +60,10 @@ class Database {
   /// Intra-query thread budget after clamping to the pool size.
   int exec_threads() const { return exec_threads_; }
 
+  /// Morsel policy the planner annotates DOP estimates with (mirrors the
+  /// execution thresholds derived from the profile).
+  plan::ParallelPolicy parallel_policy() const;
+
   /// Register a table without storage-profile processing (test datasets).
   void RegisterTable(const TablePtr& table);
 

@@ -1,0 +1,334 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sql/expr_util.h"
+#include "util/check.h"
+
+namespace joinboost {
+namespace exec {
+namespace morsel {
+
+size_t NumMorsels(const OpContext& ctx, size_t rows) {
+  if (rows == 0) return 0;
+  if (!ctx.CanParallel(rows)) return 1;
+  size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
+  return (rows + mr - 1) / mr;
+}
+
+RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  RunStats rs;
+  if (rows == 0) return rs;
+  if (!ctx.CanParallel(rows)) {
+    fn(0, 0, rows);
+    rs.morsels = 1;
+    return rs;
+  }
+  size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
+  size_t n = (rows + mr - 1) / mr;
+  ThreadPool::ParallelForStats ps = ctx.pool->ParallelFor(n, [&](size_t m) {
+    size_t begin = m * mr;
+    size_t end = std::min(rows, begin + mr);
+    fn(m, begin, end);
+  });
+  rs.morsels = n;
+  rs.stolen = ps.helper_items;
+  if (ctx.stats != nullptr) {
+    // Updated by the dispatching thread only, after all morsels finished.
+    ctx.stats->morsels_dispatched += rs.morsels;
+    ctx.stats->morsels_stolen += rs.stolen;
+  }
+  return rs;
+}
+
+ExecTable SliceRows(const ExecTable& input, size_t begin, size_t end,
+                    const std::vector<size_t>* columns) {
+  JB_CHECK(begin <= end && end <= input.rows);
+  ExecTable out;
+  out.rows = end - begin;
+  const size_t n_cols = columns ? columns->size() : input.cols.size();
+  out.cols.reserve(n_cols);
+  for (size_t ci = 0; ci < n_cols; ++ci) {
+    const auto& c = input.cols[columns ? (*columns)[ci] : ci];
+    VectorData v;
+    v.type = c.data.type;
+    v.dict = c.data.dict;
+    if (c.data.type == TypeId::kFloat64) {
+      const auto& src = *c.data.dbls;
+      v.dbls = std::make_shared<const std::vector<double>>(
+          src.begin() + static_cast<ptrdiff_t>(begin),
+          src.begin() + static_cast<ptrdiff_t>(end));
+    } else {
+      const auto& src = *c.data.ints;
+      v.ints = std::make_shared<const std::vector<int64_t>>(
+          src.begin() + static_cast<ptrdiff_t>(begin),
+          src.begin() + static_cast<ptrdiff_t>(end));
+    }
+    out.cols.push_back({c.qualifier, c.name, std::move(v)});
+  }
+  return out;
+}
+
+namespace {
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+bool ExprNodeSafe(const sql::Expr& e) {
+  switch (e.kind) {
+    case sql::ExprKind::kInSubquery:
+    case sql::ExprKind::kAggCall:
+    case sql::ExprKind::kWindowAgg:
+      return false;
+    case sql::ExprKind::kStringLiteral:
+      // A string literal in value position mints a private dictionary per
+      // evaluation, so per-morsel results could not be concatenated — the
+      // runtime homogeneity check would discard all the parallel work.
+      return false;
+    case sql::ExprKind::kBinary:
+      if (IsComparisonOp(e.op)) {
+        // Comparison results are plain ints and a literal operand adopts
+        // the other side's dictionary: direct string literals are safe.
+        for (const auto& a : e.args) {
+          if (a && a->kind != sql::ExprKind::kStringLiteral &&
+              !ExprNodeSafe(*a)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      break;
+    case sql::ExprKind::kInList:
+      // List members only feed the membership set; the result is int.
+      return !e.args.empty() && e.args[0] && ExprNodeSafe(*e.args[0]);
+    default:
+      break;
+  }
+  for (const auto& a : e.args) {
+    if (a && !ExprNodeSafe(*a)) return false;
+  }
+  for (const auto& p : e.partition_by) {
+    if (p && !ExprNodeSafe(*p)) return false;
+  }
+  return e.subquery == nullptr;
+}
+
+/// Input columns `e` could resolve against: every column a ref's
+/// first-match lookup might land on (same name; qualifier matching or
+/// absent). Slicing only these keeps per-morsel copies proportional to the
+/// expression, not the table width, without changing name resolution.
+std::vector<size_t> UsedColumns(const sql::Expr& e, const ExecTable& input) {
+  std::vector<const sql::Expr*> refs;
+  sql::CollectColumnRefs(e, &refs);
+  std::vector<size_t> used;
+  for (size_t c = 0; c < input.cols.size(); ++c) {
+    for (const auto* r : refs) {
+      if (r->column == input.cols[c].name &&
+          (r->table.empty() || r->table == input.cols[c].qualifier)) {
+        used.push_back(c);
+        break;
+      }
+    }
+  }
+  return used;
+}
+
+/// Per-morsel results must agree on type and dictionary before they can be
+/// concatenated into one vector.
+bool PartsHomogeneous(const std::vector<VectorData>& parts) {
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].type != parts[0].type) return false;
+    if (parts[i].dict != parts[0].dict) return false;
+  }
+  return true;
+}
+
+VectorData ConcatParts(const std::vector<VectorData>& parts, size_t rows) {
+  VectorData out;
+  out.type = parts[0].type;
+  out.dict = parts[0].dict;
+  if (out.type == TypeId::kFloat64) {
+    std::vector<double> data;
+    data.reserve(rows);
+    for (const auto& p : parts) data.insert(data.end(), p.dbls->begin(),
+                                            p.dbls->end());
+    out.dbls = std::make_shared<const std::vector<double>>(std::move(data));
+  } else {
+    std::vector<int64_t> data;
+    data.reserve(rows);
+    for (const auto& p : parts) data.insert(data.end(), p.ints->begin(),
+                                            p.ints->end());
+    out.ints = std::make_shared<const std::vector<int64_t>>(std::move(data));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ExprMorselSafe(const sql::Expr& e, const EvalContext& ectx) {
+  return ectx.overrides.empty() && ExprNodeSafe(e);
+}
+
+VectorData ParallelEvalExpr(const sql::Expr& e, const ExecTable& input,
+                            EvalContext& ectx, const OpContext& ctx) {
+  // Bare column refs are zero-copy in EvalExpr; slicing would only add
+  // copies. Same for anything the morsel contract cannot cover.
+  size_t n = NumMorsels(ctx, input.rows);
+  if (e.kind == sql::ExprKind::kColumnRef || n <= 1 ||
+      !ExprMorselSafe(e, ectx)) {
+    return EvalExpr(e, input, ectx);
+  }
+  std::vector<size_t> used = UsedColumns(e, input);
+  std::vector<VectorData> parts(n);
+  ForEachMorsel(ctx, input.rows, [&](size_t m, size_t begin, size_t end) {
+    ExecTable slice = SliceRows(input, begin, end, &used);
+    EvalContext local;  // overrides verified empty; no subqueries reachable
+    parts[m] = EvalExpr(e, slice, local);
+  });
+  if (!PartsHomogeneous(parts)) {
+    // String-literal expressions mint a private dictionary per evaluation;
+    // re-evaluate serially rather than merging dictionaries.
+    return EvalExpr(e, input, ectx);
+  }
+  return ConcatParts(parts, input.rows);
+}
+
+std::vector<uint32_t> ParallelEvalPredicate(const sql::Expr& e,
+                                            const ExecTable& input,
+                                            EvalContext& ectx,
+                                            const OpContext& ctx) {
+  size_t n = NumMorsels(ctx, input.rows);
+  if (n <= 1 || !ExprMorselSafe(e, ectx)) {
+    return EvalPredicate(e, input, ectx, ctx.row_mode);
+  }
+  std::vector<size_t> used = UsedColumns(e, input);
+  std::vector<std::vector<uint32_t>> parts(n);
+  ForEachMorsel(ctx, input.rows, [&](size_t m, size_t begin, size_t end) {
+    ExecTable slice = SliceRows(input, begin, end, &used);
+    EvalContext local;
+    std::vector<uint32_t> sel =
+        EvalPredicate(e, slice, local, /*row_mode=*/false);
+    for (uint32_t& r : sel) r += static_cast<uint32_t>(begin);
+    parts[m] = std::move(sel);
+  });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+namespace {
+
+template <typename T, typename GetFn>
+std::shared_ptr<const std::vector<T>> GatherInto(
+    const std::vector<uint32_t>& idx, const OpContext& ctx, GetFn get) {
+  auto data = std::make_shared<std::vector<T>>(idx.size());
+  std::vector<T>& dst = *data;
+  ForEachMorsel(ctx, idx.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) dst[i] = get(idx[i]);
+  });
+  return std::shared_ptr<const std::vector<T>>(std::move(data));
+}
+
+}  // namespace
+
+VectorData ParallelGather(const VectorData& v,
+                          const std::vector<uint32_t>& idx,
+                          const OpContext& ctx) {
+  if (!ctx.CanParallel(idx.size())) return v.Gather(idx);
+  VectorData out;
+  out.type = v.type;
+  out.dict = v.dict;
+  if (v.type == TypeId::kFloat64) {
+    const auto& src = *v.dbls;
+    out.dbls = GatherInto<double>(idx, ctx,
+                                  [&src](uint32_t i) { return src[i]; });
+  } else {
+    const auto& src = *v.ints;
+    out.ints = GatherInto<int64_t>(idx, ctx,
+                                   [&src](uint32_t i) { return src[i]; });
+  }
+  return out;
+}
+
+VectorData ParallelGatherWithNulls(const VectorData& v,
+                                   const std::vector<uint32_t>& idx,
+                                   const OpContext& ctx) {
+  VectorData out;
+  out.type = v.type;
+  out.dict = v.dict;
+  if (v.type == TypeId::kFloat64) {
+    const auto& src = *v.dbls;
+    out.dbls = GatherInto<double>(idx, ctx, [&src](uint32_t i) {
+      return i == UINT32_MAX ? NullFloat64() : src[i];
+    });
+  } else {
+    const auto& src = *v.ints;
+    out.ints = GatherInto<int64_t>(idx, ctx, [&src](uint32_t i) {
+      return i == UINT32_MAX ? kNullInt64 : src[i];
+    });
+  }
+  return out;
+}
+
+ExecTable ParallelGatherRows(const ExecTable& input,
+                             const std::vector<uint32_t>& idx,
+                             const OpContext& ctx) {
+  if (!ctx.CanParallel(idx.size())) return input.GatherRows(idx);
+  ExecTable out;
+  out.rows = idx.size();
+  out.cols.reserve(input.cols.size());
+  for (const auto& c : input.cols) {
+    out.cols.push_back({c.qualifier, c.name, ParallelGather(c.data, idx, ctx)});
+  }
+  return out;
+}
+
+PartitionedRows PartitionByHash(
+    const OpContext& ctx, size_t n, size_t parts,
+    const std::function<uint64_t(size_t)>& hash_fn) {
+  JB_CHECK(parts > 0);
+  PartitionedRows out;
+  out.hashes.resize(n);
+  out.rows.resize(parts);
+  // Morsel-local scatter into (morsel, partition) buffers, then each
+  // partition concatenates its buffers in morsel-index order — ascending
+  // row order within every partition, the invariant the determinism
+  // contract rests on.
+  size_t M = NumMorsels(ctx, n);
+  std::vector<std::vector<std::vector<uint32_t>>> scatter(
+      M, std::vector<std::vector<uint32_t>>(parts));
+  ForEachMorsel(ctx, n, [&](size_t m, size_t begin, size_t end) {
+    auto& local = scatter[m];
+    for (size_t r = begin; r < end; ++r) {
+      uint64_t h = hash_fn(r);
+      out.hashes[r] = h;
+      local[h % parts].push_back(static_cast<uint32_t>(r));
+    }
+  });
+  auto concat = [&](size_t p) {
+    std::vector<uint32_t>& rows = out.rows[p];
+    size_t total = 0;
+    for (size_t m = 0; m < M; ++m) total += scatter[m][p].size();
+    rows.reserve(total);
+    for (size_t m = 0; m < M; ++m) {
+      rows.insert(rows.end(), scatter[m][p].begin(), scatter[m][p].end());
+    }
+  };
+  if (ctx.pool != nullptr && parts > 1) {
+    ctx.pool->ParallelFor(parts, concat);
+  } else {
+    for (size_t p = 0; p < parts; ++p) concat(p);
+  }
+  return out;
+}
+
+}  // namespace morsel
+}  // namespace exec
+}  // namespace joinboost

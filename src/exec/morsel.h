@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/operators.h"
+#include "exec/vector.h"
+
+namespace joinboost {
+namespace exec {
+namespace morsel {
+
+/// Morsel-driven execution helpers (Leis et al., adapted): operator inputs
+/// are split into fixed-size row ranges ("morsels") dispatched on the shared
+/// thread pool; every worker pulls the next morsel from an atomic cursor, so
+/// load balances dynamically. Determinism contract: per-morsel outputs are
+/// merged in morsel-index (= row) order and no floating-point reduction ever
+/// crosses a morsel boundary in a data-dependent order, so results are
+/// bit-identical to single-threaded execution for any thread count and any
+/// morsel size.
+
+struct RunStats {
+  size_t morsels = 0;  ///< ranges dispatched (1 when run serially)
+  size_t stolen = 0;   ///< morsels executed by pool workers, not the caller
+};
+
+/// Number of morsels `rows` splits into under `ctx` (1 when serial).
+size_t NumMorsels(const OpContext& ctx, size_t rows);
+
+/// Run fn(morsel_index, begin, end) over [0, rows). Parallel when the
+/// context allows it and `rows` meets the threshold; otherwise one serial
+/// call covering the whole range. Exceptions from any morsel propagate to
+/// the caller (smallest morsel index wins). Updates ctx.stats counters.
+RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
+                       const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Materialize rows [begin, end) of `input` as a standalone table (column
+/// payloads are copied; dictionaries are shared). Morsel-local evaluation
+/// then works on cache-resident vectors. `columns`, when given, restricts
+/// the slice to that subset (ascending input positions — relative column
+/// order is preserved so first-match name resolution is unchanged).
+ExecTable SliceRows(const ExecTable& input, size_t begin, size_t end,
+                    const std::vector<size_t>* columns = nullptr);
+
+/// True when `e` can be evaluated independently per morsel: no subqueries
+/// (would re-run per morsel), no aggregate/window nodes, and no pre-computed
+/// override results in `ectx` (those are full-length vectors aligned to the
+/// unsliced input).
+bool ExprMorselSafe(const sql::Expr& e, const EvalContext& ectx);
+
+/// EvalExpr over morsel slices, results concatenated in morsel order.
+/// Falls back to plain EvalExpr when parallelism is off, the input is small,
+/// the expression is not morsel-safe, or per-morsel results disagree on
+/// type/dictionary (string-literal producing expressions).
+VectorData ParallelEvalExpr(const sql::Expr& e, const ExecTable& input,
+                            EvalContext& ectx, const OpContext& ctx);
+
+/// EvalPredicate over morsel slices; selected row ids are rebased to the
+/// full table and concatenated in morsel order (== ascending row order,
+/// exactly like the serial scan).
+std::vector<uint32_t> ParallelEvalPredicate(const sql::Expr& e,
+                                            const ExecTable& input,
+                                            EvalContext& ectx,
+                                            const OpContext& ctx);
+
+/// Morsel-parallel VectorData::Gather into a pre-sized output.
+VectorData ParallelGather(const VectorData& v,
+                          const std::vector<uint32_t>& idx,
+                          const OpContext& ctx);
+
+/// Gather with a null mask: idx entries equal to UINT32_MAX produce NULLs
+/// (left-outer join right side).
+VectorData ParallelGatherWithNulls(const VectorData& v,
+                                   const std::vector<uint32_t>& idx,
+                                   const OpContext& ctx);
+
+/// ExecTable::GatherRows with morsel-parallel column materialization.
+ExecTable ParallelGatherRows(const ExecTable& input,
+                             const std::vector<uint32_t>& idx,
+                             const OpContext& ctx);
+
+/// Hash-partitioned row sets for thread-local join builds / aggregation.
+struct PartitionedRows {
+  std::vector<uint64_t> hashes;             ///< hash_fn(r) per input row
+  std::vector<std::vector<uint32_t>> rows;  ///< per partition, ascending rows
+};
+
+/// Partition rows [0, n) so partition p owns every row whose hash satisfies
+/// h % parts == p, with each partition's row list in ascending order. This
+/// is the determinism backbone of the parallel join build and aggregation:
+/// a key's rows all land in one partition and keep their serial scan order,
+/// so bucket lists and per-group accumulation sequences are identical to
+/// single-threaded execution for any partition count. Hash + scatter run
+/// morsel-parallel (O(n) total work regardless of `parts`).
+PartitionedRows PartitionByHash(const OpContext& ctx, size_t n, size_t parts,
+                                const std::function<uint64_t(size_t)>& hash_fn);
+
+}  // namespace morsel
+}  // namespace exec
+}  // namespace joinboost

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "exec/morsel.h"
 #include "sql/printer.h"
 #include "util/hash.h"
 
@@ -72,30 +73,6 @@ bool RowsEqual(const std::vector<const VectorData*>& a, size_t ra,
   return true;
 }
 
-/// Gather with a null mask: idx entries equal to UINT32_MAX produce NULLs.
-VectorData GatherWithNulls(const VectorData& v,
-                           const std::vector<uint32_t>& idx) {
-  VectorData out;
-  out.type = v.type;
-  out.dict = v.dict;
-  if (v.type == TypeId::kFloat64) {
-    std::vector<double> data;
-    data.reserve(idx.size());
-    for (uint32_t i : idx) {
-      data.push_back(i == UINT32_MAX ? NullFloat64() : (*v.dbls)[i]);
-    }
-    out.dbls = std::make_shared<const std::vector<double>>(std::move(data));
-  } else {
-    std::vector<int64_t> data;
-    data.reserve(idx.size());
-    for (uint32_t i : idx) {
-      data.push_back(i == UINT32_MAX ? kNullInt64 : (*v.ints)[i]);
-    }
-    out.ints = std::make_shared<const std::vector<int64_t>>(std::move(data));
-  }
-  return out;
-}
-
 }  // namespace
 
 ExecTable ScanTable(const Table& table, const std::string& qualifier,
@@ -116,11 +93,11 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
     }
   }
   const std::vector<int>& cols = spec.columns ? *spec.columns : all_cols;
-  out.cols.reserve(cols.size());
   const bool pay_interop = ctx.interop_scan && table.dataframe();
-  size_t decompressed = 0;
-  for (int ci : cols) {
-    const size_t i = static_cast<size_t>(ci);
+  out.cols.resize(cols.size());
+  std::vector<uint8_t> col_decompressed(cols.size(), 0);
+  auto materialize = [&](size_t c) {
+    const size_t i = static_cast<size_t>(cols[c]);
     const auto& col = table.column(i);
     VectorData v;
     v.type = col->type();
@@ -128,7 +105,7 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
     if (col->encoded()) {
       // Real decompression cost, like any compressed columnar engine —
       // but only for the columns the plan actually references.
-      ++decompressed;
+      col_decompressed[c] = 1;
       if (col->type() == TypeId::kFloat64) {
         v.dbls = col->ScanDoubles();
       } else {
@@ -162,15 +139,28 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
         v.ints = col->PlainInts();
       }
     }
-    out.cols.push_back({qualifier, table.schema().field(i).name, std::move(v)});
+    out.cols[c] = {qualifier, table.schema().field(i).name, std::move(v)};
+  };
+  // Decompression / interop conversion is embarrassingly parallel across
+  // columns; zero-copy shares are too cheap to be worth dispatching.
+  bool any_decode = pay_interop;
+  for (size_t c = 0; c < cols.size() && !any_decode; ++c) {
+    any_decode = table.column(static_cast<size_t>(cols[c]))->encoded();
   }
+  if (any_decode && ctx.CanParallel(table.num_rows()) && cols.size() > 1) {
+    ctx.pool->ParallelFor(cols.size(), materialize);
+  } else {
+    for (size_t c = 0; c < cols.size(); ++c) materialize(c);
+  }
+  size_t decompressed = 0;
+  for (uint8_t d : col_decompressed) decompressed += d;
   if (spec.filter != nullptr) {
     // Fused scan-filter: evaluate the pushed predicate over the (pruned)
-    // scan output and gather survivors in one pass.
+    // scan output morsel-by-morsel and gather survivors in morsel order.
     JB_CHECK_MSG(spec.ectx != nullptr, "fused scan filter needs an EvalContext");
     std::vector<uint32_t> sel =
-        EvalPredicate(*spec.filter, out, *spec.ectx, ctx.row_mode);
-    out = out.GatherRows(sel);
+        morsel::ParallelEvalPredicate(*spec.filter, out, *spec.ectx, ctx);
+    out = morsel::ParallelGatherRows(out, sel, ctx);
   }
   if (ctx.stats != nullptr) {
     plan::PlanStats& s = *ctx.stats;
@@ -187,8 +177,9 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
 
 ExecTable FilterExec(const ExecTable& input, const sql::Expr& pred,
                      EvalContext& ectx, const OpContext& ctx) {
-  std::vector<uint32_t> sel = EvalPredicate(pred, input, ectx, ctx.row_mode);
-  return input.GatherRows(sel);
+  std::vector<uint32_t> sel =
+      morsel::ParallelEvalPredicate(pred, input, ectx, ctx);
+  return morsel::ParallelGatherRows(input, sel, ctx);
 }
 
 ExecTable ConcatColumns(ExecTable left, ExecTable right) {
@@ -215,13 +206,39 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
                  "supported; re-encode first");
   }
 
-  // Build on the right input (messages / dimension tables are small).
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-  buckets.reserve(right.rows * 2);
-  for (size_t r = 0; r < right.rows; ++r) {
-    uint64_t h = ctx.row_mode ? HashRowSlow(rk, r) : HashRow(rk, r);
-    buckets[h].push_back(static_cast<uint32_t>(r));
+  // Build on the right input (messages / dimension tables are small). Large
+  // build sides are hash-partitioned and built by per-thread partitions in
+  // parallel: partition p owns every hash with h % P == p, and each builder
+  // scans rows in ascending order, so bucket row lists are identical to the
+  // single-map serial build (probe match order — and thus output order — is
+  // bit-identical for any P).
+  const size_t P =
+      ctx.CanParallel(right.rows) ? static_cast<size_t>(ctx.threads) : 1;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> parts(P);
+  if (P == 1) {
+    auto& buckets = parts[0];
+    buckets.reserve(right.rows * 2);
+    for (size_t r = 0; r < right.rows; ++r) {
+      uint64_t h = ctx.row_mode ? HashRowSlow(rk, r) : HashRow(rk, r);
+      buckets[h].push_back(static_cast<uint32_t>(r));
+    }
+  } else {
+    // Partition p owns hashes with h % P == p; each partition's rows arrive
+    // in ascending order, so bucket lists match the serial build exactly.
+    morsel::PartitionedRows pr = morsel::PartitionByHash(
+        ctx, right.rows, P, [&](size_t r) { return HashRow(rk, r); });
+    ctx.pool->ParallelFor(P, [&](size_t p) {
+      auto& buckets = parts[p];
+      buckets.reserve(pr.rows[p].size() * 2);
+      for (uint32_t r : pr.rows[p]) buckets[pr.hashes[r]].push_back(r);
+    });
   }
+  auto find_bucket =
+      [&](uint64_t h) -> const std::vector<uint32_t>* {
+    const auto& buckets = parts[P == 1 ? 0 : h % P];
+    auto it = buckets.find(h);
+    return it == buckets.end() ? nullptr : &it->second;
+  };
 
   const bool is_semi = type == sql::JoinType::kSemi;
   const bool is_anti = type == sql::JoinType::kAnti;
@@ -232,10 +249,10 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
                          std::vector<uint32_t>* ridx) {
     for (size_t l = begin; l < end; ++l) {
       uint64_t h = ctx.row_mode ? HashRowSlow(lk, l) : HashRow(lk, l);
-      auto it = buckets.find(h);
+      const std::vector<uint32_t>* bucket = find_bucket(h);
       bool matched = false;
-      if (it != buckets.end()) {
-        for (uint32_t r : it->second) {
+      if (bucket != nullptr) {
+        for (uint32_t r : *bucket) {
           if (RowsEqual(lk, l, rk, r)) {
             matched = true;
             if (is_semi || is_anti) break;
@@ -253,36 +270,40 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
     }
   };
 
+  // Morsel-driven probe: per-morsel match lists concatenate in morsel-index
+  // order, which is ascending probe-row order — exactly the serial output.
   std::vector<uint32_t> lidx, ridx;
-  const size_t kParallelCutoff = 65536;
-  if (ctx.pool && ctx.threads > 1 && left.rows >= kParallelCutoff &&
-      !ctx.row_mode) {
-    size_t t = static_cast<size_t>(ctx.threads);
-    std::vector<std::vector<uint32_t>> lparts(t), rparts(t);
-    size_t chunk = (left.rows + t - 1) / t;
-    ctx.pool->ParallelFor(t, [&](size_t i) {
-      size_t begin = i * chunk;
-      size_t end = std::min(left.rows, begin + chunk);
-      if (begin < end) probe_range(begin, end, &lparts[i], &rparts[i]);
-    });
-    for (size_t i = 0; i < t; ++i) {
-      lidx.insert(lidx.end(), lparts[i].begin(), lparts[i].end());
-      ridx.insert(ridx.end(), rparts[i].begin(), rparts[i].end());
+  size_t n_morsels = morsel::NumMorsels(ctx, left.rows);
+  if (n_morsels > 1) {
+    std::vector<std::vector<uint32_t>> lparts(n_morsels), rparts(n_morsels);
+    morsel::ForEachMorsel(ctx, left.rows,
+                          [&](size_t m, size_t begin, size_t end) {
+                            probe_range(begin, end, &lparts[m], &rparts[m]);
+                          });
+    size_t total = 0;
+    for (const auto& p : lparts) total += p.size();
+    lidx.reserve(total);
+    ridx.reserve(total);
+    for (size_t m = 0; m < n_morsels; ++m) {
+      lidx.insert(lidx.end(), lparts[m].begin(), lparts[m].end());
+      ridx.insert(ridx.end(), rparts[m].begin(), rparts[m].end());
     }
   } else {
     probe_range(0, left.rows, &lidx, &ridx);
   }
 
-  if (is_semi || is_anti) return left.GatherRows(lidx);
+  if (is_semi || is_anti) return morsel::ParallelGatherRows(left, lidx, ctx);
 
   ExecTable out;
   out.rows = lidx.size();
   out.cols.reserve(left.cols.size() + right.cols.size());
   for (const auto& c : left.cols) {
-    out.cols.push_back({c.qualifier, c.name, c.data.Gather(lidx)});
+    out.cols.push_back(
+        {c.qualifier, c.name, morsel::ParallelGather(c.data, lidx, ctx)});
   }
   for (const auto& c : right.cols) {
-    out.cols.push_back({c.qualifier, c.name, GatherWithNulls(c.data, ridx)});
+    out.cols.push_back({c.qualifier, c.name,
+                        morsel::ParallelGatherWithNulls(c.data, ridx, ctx)});
   }
   return out;
 }
@@ -326,10 +347,14 @@ struct AggAccum {
   bool int_sum = false;
 };
 
-/// Aggregate one partition of rows into per-group accumulators.
+/// Aggregate one partition of rows into per-group accumulators. `gid_at[i]`
+/// is the group of `rows[i]` (position-aligned, so partitions don't need
+/// full-width group-id vectors). Rows are processed in the order given —
+/// ascending row id everywhere in this file — which pins the floating-point
+/// accumulation order per group regardless of partition count.
 void Accumulate(const std::vector<AggSpec>& aggs,
                 const std::vector<VectorData>& arg_vals,
-                const std::vector<uint32_t>& group_ids,
+                const std::vector<uint32_t>& gid_at,
                 const std::vector<uint32_t>& rows, size_t num_groups,
                 std::vector<AggAccum>* accums) {
   accums->resize(aggs.size());
@@ -351,13 +376,14 @@ void Accumulate(const std::vector<AggSpec>& aggs,
       }
     }
     if (f == "COUNT" && aggs[a].arg == nullptr) {
-      for (uint32_t r : rows) ++acc.count[group_ids[r]];
+      for (size_t i = 0; i < rows.size(); ++i) ++acc.count[gid_at[i]];
       continue;
     }
     const VectorData& v = arg_vals[a];
-    for (uint32_t r : rows) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint32_t r = rows[i];
       if (v.IsNull(r)) continue;
-      uint32_t g = group_ids[r];
+      uint32_t g = gid_at[i];
       ++acc.count[g];
       if (f == "SUM" || f == "AVG") {
         if (acc.int_sum) {
@@ -434,14 +460,17 @@ ExecTable HashAggExec(const ExecTable& input,
                       const std::vector<AggSpec>& aggs, EvalContext& ectx,
                       const OpContext& ctx,
                       std::vector<VectorData>* agg_outputs) {
-  // 1. Evaluate key expressions and aggregate arguments.
+  // 1. Evaluate key expressions and aggregate arguments (morsel-parallel;
+  // falls back to serial for small inputs or override-bearing contexts).
   std::vector<VectorData> key_vals;
   key_vals.reserve(group_by.size());
-  for (const auto& g : group_by) key_vals.push_back(EvalExpr(*g, input, ectx));
+  for (const auto& g : group_by) {
+    key_vals.push_back(morsel::ParallelEvalExpr(*g, input, ectx, ctx));
+  }
   std::vector<VectorData> arg_vals(aggs.size());
   for (size_t a = 0; a < aggs.size(); ++a) {
     if (aggs[a].arg != nullptr) {
-      arg_vals[a] = EvalExpr(*aggs[a].arg, input, ectx);
+      arg_vals[a] = morsel::ParallelEvalExpr(*aggs[a].arg, input, ectx, ctx);
     }
   }
 
@@ -474,31 +503,29 @@ ExecTable HashAggExec(const ExecTable& input,
     for (size_t i = 0; i < key_vals.size(); ++i) {
       key_cols.push_back(static_cast<int>(i));
     }
-    const size_t kParallelCutoff = 65536;
-    if (ctx.pool && ctx.threads > 1 && input.rows >= kParallelCutoff &&
-        !ctx.row_mode) {
-      // Radix-partition by key hash, then group+aggregate partitions in
-      // parallel and concatenate (intra-query parallelism, §5.5.3).
+    if (ctx.CanParallel(input.rows)) {
+      // Hash-partition by key, then group + aggregate each partition with a
+      // thread-local hash table (intra-query parallelism, §5.5.3). Every
+      // group lives entirely in one partition and each partition scans its
+      // rows in ascending order, so per-group float accumulation order
+      // matches the serial path exactly. The merge step re-sorts groups by
+      // representative (= first-occurrence) row, which is precisely the
+      // serial GroupRows output order: results are bit-identical to one
+      // thread for any partition count.
       size_t P = static_cast<size_t>(ctx.threads);
       std::vector<const VectorData*> keys;
       for (const auto& kv : key_vals) keys.push_back(&kv);
-      std::vector<uint64_t> hashes(input.rows);
-      size_t chunk = (input.rows + P - 1) / P;
-      ctx.pool->ParallelFor(P, [&](size_t t) {
-        size_t begin = t * chunk, end = std::min(input.rows, begin + chunk);
-        for (size_t r = begin; r < end; ++r) hashes[r] = HashRow(keys, r);
-      });
-      std::vector<std::vector<uint32_t>> parts(P);
-      for (size_t r = 0; r < input.rows; ++r) {
-        parts[hashes[r] % P].push_back(static_cast<uint32_t>(r));
-      }
+      morsel::PartitionedRows pr = morsel::PartitionByHash(
+          ctx, input.rows, P, [&](size_t r) { return HashRow(keys, r); });
+      const std::vector<uint64_t>& hashes = pr.hashes;
       struct PartResult {
         std::vector<uint32_t> reps;
         std::vector<AggAccum> accums;
       };
       std::vector<PartResult> results(P);
       ctx.pool->ParallelFor(P, [&](size_t p) {
-        const auto& rows = parts[p];
+        // Partition p owns hashes with h % P == p, rows in ascending order.
+        const std::vector<uint32_t>& rows = pr.rows[p];
         std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
         std::vector<uint32_t> reps;
         std::vector<uint32_t> gids(rows.size());
@@ -519,44 +546,63 @@ ExecTable HashAggExec(const ExecTable& input,
           }
           gids[i] = gid;
         }
-        // Remap per-partition group ids onto partition-local accumulators.
-        std::vector<uint32_t> full_gids(input.rows, 0);
-        for (size_t i = 0; i < rows.size(); ++i) full_gids[rows[i]] = gids[i];
-        Accumulate(aggs, arg_vals, full_gids, rows, reps.size(),
+        Accumulate(aggs, arg_vals, gids, rows, reps.size(),
                    &results[p].accums);
         results[p].reps = std::move(reps);
       });
-      // Concatenate partitions.
-      std::vector<uint32_t> reps;
-      for (auto& pr : results) {
-        reps.insert(reps.end(), pr.reps.begin(), pr.reps.end());
+      // Merge: order groups by representative row id (== first occurrence,
+      // the serial group order), then copy partition-local accumulator
+      // slots — a pure relabeling, no arithmetic.
+      struct GroupRef {
+        uint32_t rep;
+        uint32_t part;
+        uint32_t local;
+      };
+      std::vector<GroupRef> order;
+      for (uint32_t p = 0; p < P; ++p) {
+        for (uint32_t g = 0; g < results[p].reps.size(); ++g) {
+          order.push_back({results[p].reps[g], p, g});
+        }
       }
-      num_groups = reps.size();
+      std::sort(order.begin(), order.end(),
+                [](const GroupRef& a, const GroupRef& b) {
+                  return a.rep < b.rep;
+                });
+      num_groups = order.size();
       accums.resize(aggs.size());
       for (size_t a = 0; a < aggs.size(); ++a) {
         AggAccum& dst = accums[a];
-        dst.int_sum = aggs[a].func == "SUM" &&
-                      (aggs[a].arg == nullptr ||
-                       arg_vals[a].type != TypeId::kFloat64);
-        size_t offset = 0;
+        const std::string& f = aggs[a].func;
+        dst.int_sum = f == "SUM" && (aggs[a].arg == nullptr ||
+                                     arg_vals[a].type != TypeId::kFloat64);
+        // Mirror Accumulate's allocations: only the vectors this aggregate
+        // actually uses (FinishAgg reads the same subset).
         dst.count.assign(num_groups, 0);
-        dst.dsum.assign(num_groups, 0.0);
-        dst.isum.assign(num_groups, 0);
-        dst.dmin.assign(num_groups, std::numeric_limits<double>::infinity());
-        dst.dmax.assign(num_groups, -std::numeric_limits<double>::infinity());
-        for (auto& pr : results) {
-          const AggAccum& src = pr.accums[a];
-          for (size_t g = 0; g < pr.reps.size(); ++g) {
-            dst.count[offset + g] = src.count[g];
-            if (!src.dsum.empty()) dst.dsum[offset + g] = src.dsum[g];
-            if (!src.isum.empty()) dst.isum[offset + g] = src.isum[g];
-            if (!src.dmin.empty()) dst.dmin[offset + g] = src.dmin[g];
-            if (!src.dmax.empty()) dst.dmax[offset + g] = src.dmax[g];
+        if (f == "SUM" || f == "AVG") {
+          if (dst.int_sum) {
+            dst.isum.assign(num_groups, 0);
+          } else {
+            dst.dsum.assign(num_groups, 0.0);
           }
-          offset += pr.reps.size();
+        }
+        if (f == "MIN" || f == "MAX") {
+          dst.dmin.assign(num_groups, std::numeric_limits<double>::infinity());
+          dst.dmax.assign(num_groups,
+                          -std::numeric_limits<double>::infinity());
+        }
+        for (size_t g = 0; g < num_groups; ++g) {
+          const AggAccum& src = results[order[g].part].accums[a];
+          uint32_t lg = order[g].local;
+          dst.count[g] = src.count[lg];
+          if (!src.dsum.empty()) dst.dsum[g] = src.dsum[lg];
+          if (!src.isum.empty()) dst.isum[g] = src.isum[lg];
+          if (!src.dmin.empty()) dst.dmin[g] = src.dmin[lg];
+          if (!src.dmax.empty()) dst.dmax[g] = src.dmax[lg];
         }
       }
-      groups.representatives = std::move(reps);
+      groups.representatives.clear();
+      groups.representatives.reserve(num_groups);
+      for (const GroupRef& gr : order) groups.representatives.push_back(gr.rep);
       groups.num_groups = num_groups;
     } else {
       groups = GroupRows(key_table, key_cols, ctx);
@@ -573,7 +619,8 @@ ExecTable HashAggExec(const ExecTable& input,
     for (size_t i = 0; i < key_table.cols.size(); ++i) {
       out.cols.push_back(
           {key_table.cols[i].qualifier, key_table.cols[i].name,
-           key_table.cols[i].data.Gather(groups.representatives)});
+           morsel::ParallelGather(key_table.cols[i].data,
+                                  groups.representatives, ctx)});
     }
   }
   agg_outputs->clear();
@@ -587,11 +634,13 @@ ExecTable HashAggExec(const ExecTable& input,
 }
 
 ExecTable SortExec(const ExecTable& input,
-                   const std::vector<sql::OrderItem>& order,
-                   EvalContext& ectx) {
+                   const std::vector<sql::OrderItem>& order, EvalContext& ectx,
+                   const OpContext& ctx) {
   std::vector<VectorData> keys;
   keys.reserve(order.size());
-  for (const auto& o : order) keys.push_back(EvalExpr(*o.expr, input, ectx));
+  for (const auto& o : order) {
+    keys.push_back(morsel::ParallelEvalExpr(*o.expr, input, ectx, ctx));
+  }
   std::vector<uint32_t> idx(input.rows);
   for (size_t i = 0; i < input.rows; ++i) idx[i] = static_cast<uint32_t>(i);
   std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
@@ -625,7 +674,7 @@ ExecTable SortExec(const ExecTable& input,
     }
     return false;
   });
-  return input.GatherRows(idx);
+  return morsel::ParallelGatherRows(input, idx, ctx);
 }
 
 ExecTable LimitExec(const ExecTable& input, int64_t limit) {

@@ -20,6 +20,16 @@ struct OpContext {
   ThreadPool* pool = nullptr;  ///< shared pool (may be null -> sequential)
   bool interop_scan = false;   ///< dataframe scans pay an extra copy (DP)
   plan::PlanStats* stats = nullptr;  ///< optional per-query counters
+  size_t morsel_rows = 16384;        ///< rows per dispatched morsel
+  size_t parallel_threshold = 8192;  ///< inputs below this run serially
+
+  /// True when an operator consuming `rows` input rows should go parallel.
+  /// Row-mode (tuple-at-a-time) profiles always run serially: per-tuple
+  /// dispatch is the cost structure being emulated.
+  bool CanParallel(size_t rows) const {
+    return pool != nullptr && threads > 1 && !row_mode &&
+           rows >= parallel_threshold && parallel_threshold > 0;
+  }
 };
 
 /// Planner-driven scan parameters: column subset + fused filter.
@@ -64,7 +74,10 @@ struct AggSpec {
 /// Result of grouping: ids and representatives, shared between the hash
 /// aggregate and ancestral sampling.
 struct GroupResult {
-  std::vector<uint32_t> group_ids;         ///< per input row
+  /// Per input row. NOTE: HashAggExec's parallel path leaves this empty —
+  /// it aggregates partition-locally and only needs `representatives`;
+  /// consumers that require per-row ids must use GroupRows directly.
+  std::vector<uint32_t> group_ids;
   std::vector<uint32_t> representatives;   ///< one input row per group
   size_t num_groups = 0;
 };
@@ -82,9 +95,12 @@ ExecTable HashAggExec(const ExecTable& input,
                       const OpContext& ctx,
                       std::vector<VectorData>* agg_outputs);
 
-/// Sort by order items (expressions evaluated against `input`).
+/// Sort by order items (expressions evaluated against `input`). Sort keys
+/// are evaluated morsel-parallel; the comparison sort itself stays serial
+/// (stable_sort, deterministic).
 ExecTable SortExec(const ExecTable& input,
-                   const std::vector<sql::OrderItem>& order, EvalContext& ectx);
+                   const std::vector<sql::OrderItem>& order, EvalContext& ectx,
+                   const OpContext& ctx);
 
 ExecTable LimitExec(const ExecTable& input, int64_t limit);
 

@@ -27,6 +27,12 @@ void AppendCols(const LogicalOp& op, std::ostream& os) {
   }
 }
 
+/// Parallel operators advertise their estimated fan-out; serial (dop=1)
+/// stays silent so small-table plans render exactly as before.
+void AppendDop(const LogicalOp& op, std::ostream& os) {
+  if (op.est_dop > 1) os << ", dop=" << op.est_dop;
+}
+
 std::string JoinTypeName(sql::JoinType t) {
   switch (t) {
     case sql::JoinType::kInner:
@@ -73,7 +79,9 @@ std::string OperatorLabel(const LogicalOp& op) {
         os << "/" << static_cast<long long>(std::llround(op.base_rows));
       }
       os << ", cols=" << (op.pruned ? op.columns.size() : op.table_columns)
-         << "/" << op.table_columns << ")";
+         << "/" << op.table_columns;
+      AppendDop(op, os);
+      os << ")";
       break;
     }
     case OpKind::kSubqueryScan:
@@ -91,12 +99,14 @@ std::string OperatorLabel(const LogicalOp& op) {
       os << " (";
       AppendRows(op, os);
       AppendCols(op, os);
+      AppendDop(op, os);
       os << ")";
       break;
     case OpKind::kFilter:
       os << "Filter " << (op.filter ? sql::ToSql(*op.filter) : "TRUE");
       os << " (";
       AppendRows(op, os);
+      AppendDop(op, os);
       os << ")";
       break;
     case OpKind::kNoFrom:
@@ -116,6 +126,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       os << " (";
       AppendRows(op, os);
       AppendCols(op, os);
+      AppendDop(op, os);
       os << ")";
       break;
     }

@@ -27,6 +27,9 @@ struct PlanStats {
   size_t predicates_pushed = 0;  ///< WHERE conjuncts fused into scans
   size_t constants_folded = 0;   ///< predicate subtrees folded to literals
   size_t joins_reordered = 0;    ///< queries whose join order changed
+  size_t morsels_dispatched = 0; ///< morsels run by parallel operators
+  size_t morsels_stolen = 0;     ///< morsels executed by pool workers rather
+                                 ///< than the dispatching thread
 
   PlanStats& operator+=(const PlanStats& o) {
     queries_planned += o.queries_planned;
@@ -40,6 +43,8 @@ struct PlanStats {
     predicates_pushed += o.predicates_pushed;
     constants_folded += o.constants_folded;
     joins_reordered += o.joins_reordered;
+    morsels_dispatched += o.morsels_dispatched;
+    morsels_stolen += o.morsels_stolen;
     return *this;
   }
   PlanStats operator-(const PlanStats& o) const {
@@ -55,7 +60,33 @@ struct PlanStats {
     d.predicates_pushed -= o.predicates_pushed;
     d.constants_folded -= o.constants_folded;
     d.joins_reordered -= o.joins_reordered;
+    d.morsels_dispatched -= o.morsels_dispatched;
+    d.morsels_stolen -= o.morsels_stolen;
     return d;
+  }
+};
+
+/// Degree-of-parallelism policy the engine derives from its EngineProfile.
+/// The planner uses it to annotate operators with a DOP estimate (surfaced
+/// in EXPLAIN); execution uses the same thresholds, so the annotation
+/// matches what the morsel dispatcher will actually do.
+struct ParallelPolicy {
+  int threads = 1;                     ///< pool-clamped intra-query budget
+  size_t morsel_rows = 16384;          ///< rows per dispatched morsel
+  size_t threshold_rows = 8192;        ///< below this, operators run serially
+
+  /// DOP estimate for an operator consuming ~`rows` input rows. A zero
+  /// threshold disables parallelism, mirroring OpContext::CanParallel.
+  int DopForRows(double rows) const {
+    if (threads <= 1 || rows < 0 || threshold_rows == 0 ||
+        rows < static_cast<double>(threshold_rows)) {
+      return 1;
+    }
+    double morsels =
+        (rows + static_cast<double>(morsel_rows) - 1) /
+        static_cast<double>(morsel_rows);
+    if (morsels >= static_cast<double>(threads)) return threads;
+    return morsels < 1 ? 1 : static_cast<int>(morsels);
   }
 };
 
@@ -108,6 +139,7 @@ struct LogicalOp {
   double est_rows = -1;   ///< cardinality estimate; -1 = unknown
   int est_cols = -1;      ///< output column estimate; -1 = unknown
   double base_rows = -1;  ///< kScan: actual base-table row count
+  int est_dop = 1;        ///< degree-of-parallelism estimate (morsel policy)
 };
 
 /// A planned SELECT: the full operator tree for EXPLAIN plus the data-section
@@ -128,8 +160,11 @@ struct LogicalPlan {
 /// reordering (smallest filtered relation first, catalog row counts).
 /// `for_explain` additionally plans FROM-clause subqueries as explain-only
 /// children (execution plans them in their own RunSelect instead).
+/// `parallel` annotates operators with a DOP estimate from row counts
+/// (defaulted: everything serial, est_dop = 1).
 LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
-                       bool for_explain = false);
+                       bool for_explain = false,
+                       const ParallelPolicy& parallel = ParallelPolicy());
 
 /// Render a plan as indented text, one operator per line, with per-operator
 /// row/column estimates. Deterministic (golden-tested).

@@ -126,7 +126,8 @@ double FilteredEstimate(const RelInfo& rel) {
 LogicalOpPtr MakeScan(const RelInfo& rel, const Catalog& catalog,
                       const std::unordered_map<std::string,
                                                std::set<std::string>>& needed,
-                      bool prune_enabled, bool for_explain) {
+                      bool prune_enabled, bool for_explain,
+                      const ParallelPolicy& parallel) {
   auto op = std::make_shared<LogicalOp>();
   op->qualifier = rel.qualifier;
   op->est_rows = rel.est;
@@ -157,7 +158,7 @@ LogicalOpPtr MakeScan(const RelInfo& rel, const Catalog& catalog,
       // Explain-only child; normal execution plans the nested SELECT inside
       // its own RunSelect, so don't pay for a throwaway plan there.
       LogicalPlan sub = PlanSelect(*rel.ref->subquery, catalog,
-                                   /*for_explain=*/true);
+                                   /*for_explain=*/true, parallel);
       if (sub.root) {
         op->children.push_back(sub.root);
         op->est_rows = sub.root->est_rows;
@@ -216,7 +217,7 @@ int CountWindows(const sql::SelectStmt& stmt) {
 }  // namespace
 
 LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
-                       bool for_explain) {
+                       bool for_explain, const ParallelPolicy& parallel) {
   LogicalPlan plan;
   plan.stmt = &stmt;
   int folds = 0;
@@ -390,13 +391,14 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
     // Build the data-section tree: scans, joins in chosen order, leftover
     // multi-relation filters on top.
     LogicalOpPtr current =
-        MakeScan(rels[0], catalog, needed, prune_enabled, for_explain);
+        MakeScan(rels[0], catalog, needed, prune_enabled, for_explain,
+                 parallel);
     double est = current->est_rows;
     int cols = current->est_cols;
     for (size_t oi : order) {
       const RelInfo& rel = rels[oi];
       LogicalOpPtr right =
-          MakeScan(rel, catalog, needed, prune_enabled, for_explain);
+          MakeScan(rel, catalog, needed, prune_enabled, for_explain, parallel);
       auto join = std::make_shared<LogicalOp>();
       join->kind = OpKind::kJoin;
       join->join_type = rel.jtype;
@@ -508,6 +510,29 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
   }
   plan.root = top;
   plan.constants_folded = static_cast<size_t>(folds);
+
+  // Annotate DOP estimates from the rows each operator consumes (scan: the
+  // base table; join: the probe side; filter/aggregate: the child). The
+  // estimate mirrors the execution-time morsel thresholds, so EXPLAIN shows
+  // where the dispatcher will actually fan out.
+  std::function<void(LogicalOp&)> annotate = [&](LogicalOp& op) {
+    for (auto& c : op.children) annotate(*c);
+    switch (op.kind) {
+      case OpKind::kScan:
+        op.est_dop = parallel.DopForRows(op.base_rows);
+        break;
+      case OpKind::kJoin:
+      case OpKind::kFilter:
+      case OpKind::kAggregate:
+        op.est_dop = op.children.empty()
+                         ? 1
+                         : parallel.DopForRows(op.children[0]->est_rows);
+        break;
+      default:
+        break;
+    }
+  };
+  annotate(*plan.root);
   return plan;
 }
 

@@ -22,19 +22,22 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& cs) {
   return acc;
 }
 
-void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out) {
-  if (!e) return;
-  if (e->kind == ExprKind::kColumnRef) {
-    out->push_back(e.get());
+void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    out->push_back(&e);
     return;
   }
-  if (e->kind == ExprKind::kInSubquery) {
-    for (const auto& a : e->args) CollectColumnRefs(a, out);
+  if (e.kind == ExprKind::kInSubquery) {
+    for (const auto& a : e.args) CollectColumnRefs(a, out);
     return;  // subquery body resolves independently
   }
-  for (const auto& a : e->args) CollectColumnRefs(a, out);
-  for (const auto& a : e->partition_by) CollectColumnRefs(a, out);
-  for (const auto& a : e->order_by) CollectColumnRefs(a, out);
+  for (const auto& a : e.args) CollectColumnRefs(a, out);
+  for (const auto& a : e.partition_by) CollectColumnRefs(a, out);
+  for (const auto& a : e.order_by) CollectColumnRefs(a, out);
+}
+
+void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out) {
+  if (e) CollectColumnRefs(*e, out);
 }
 
 std::string OutputName(const Expr& item, size_t index) {

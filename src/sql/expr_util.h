@@ -17,6 +17,7 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& cs);
 /// Collect column references, skipping subquery interiors (they resolve
 /// against their own FROM clause).
 void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out);
+void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out);
 
 /// Output column name of a select-list item: alias, else the column name of
 /// a plain reference, else "colN". Shared by execution and planning so the

@@ -34,8 +34,19 @@ struct EngineProfile {
   /// scans pay an interop materialization pass (DuckDB-Pandas, §5.4).
   bool dataframe_interop = false;
 
-  /// Threads used for intra-query parallel aggregation (paper finds 4 best).
-  int intra_query_threads = 4;
+  /// Intra-query thread budget for morsel-driven execution (paper finds 4
+  /// best). Clamped to the engine's pool size at Database construction.
+  int exec_threads = 4;
+
+  /// Rows per morsel: scans, join probes and aggregations split their input
+  /// into fixed-size morsels dispatched on the shared pool. Outputs merge in
+  /// morsel-index order, so results are bit-identical to serial execution.
+  size_t morsel_rows = 16384;
+
+  /// Inputs below this row count run serially: morsel dispatch overhead
+  /// would dominate on small intermediates. 0 disables intra-query
+  /// parallelism entirely.
+  size_t parallel_threshold_rows = 8192;
 
   /// Route SELECTs through the logical planner (predicate pushdown,
   /// projection pruning, constant folding, greedy join reordering). Off =

@@ -1,8 +1,17 @@
 #include "util/threadpool.h"
 
 #include <atomic>
+#include <limits>
+#include <memory>
+#include <stdexcept>
 
 namespace joinboost {
+
+namespace {
+/// Which pool (if any) owns the current thread. Lets WaitIdle detect the
+/// self-deadlocking wait-from-worker case and lets tests assert stealing.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -21,6 +30,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorker() const { return tls_worker_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -30,45 +41,80 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
+  if (InWorker()) {
+    // The calling worker counts as active, so the idle predicate could never
+    // become true: fail fast instead of deadlocking.
+    throw std::logic_error("ThreadPool::WaitIdle called from a pool worker");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (task_error_) {
+    std::exception_ptr err = std::move(task_error_);
+    task_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+ThreadPool::ParallelForStats ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForStats stats;
+  if (n == 0) return stats;
+  stats.items = n;
   if (n == 1 || workers_.size() == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (size_t i = 0; i < n; ++i) fn(i);  // exceptions propagate directly
+    return stats;
   }
-  // The caller participates in the loop, so nested ParallelFor calls from
-  // inside pool workers cannot deadlock even when every worker is busy: the
-  // caller alone can drain all items; helper tasks are pure accelerators.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto items_done = std::make_shared<std::atomic<size_t>>(0);
-  size_t helpers = std::min(n, workers_.size()) - 1;
-  auto work = [next, items_done, n, &fn] {
+  // Shared dispatch state. The caller participates in the loop, so nested
+  // ParallelFor calls from inside pool workers cannot deadlock even when
+  // every worker is busy: the caller alone can drain all items; helper
+  // tasks are pure accelerators.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> helper_items{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    size_t err_index = std::numeric_limits<size_t>::max();
+    std::exception_ptr error;
+  };
+  auto sh = std::make_shared<Shared>();
+  // Helpers capture `fn` by reference; that reference stays valid because
+  // the caller spins below until every claimed item has completed.
+  auto drain = [sh, n, &fn](bool helper) {
     size_t i;
-    while ((i = next->fetch_add(1)) < n) {
-      fn(i);
-      items_done->fetch_add(1);
+    while ((i = sh->next.fetch_add(1)) < n) {
+      if (!sh->failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+          if (helper) sh->helper_items.fetch_add(1);
+        } catch (...) {
+          // Keep the smallest index that actually threw (later items may be
+          // skipped once `failed` is observed, so which items ran at all is
+          // interleaving-dependent).
+          std::lock_guard<std::mutex> lk(sh->err_mu);
+          if (i < sh->err_index) {
+            sh->err_index = i;
+            sh->error = std::current_exception();
+          }
+          sh->failed.store(true);
+        }
+      }
+      sh->done.fetch_add(1);
     }
   };
+  size_t helpers = std::min(n, workers_.size()) - 1;
   for (size_t t = 0; t < helpers; ++t) {
-    // Helpers capture by value (shared_ptr) except fn, which outlives them
-    // because the caller spins below until every item completes.
-    Submit([next, items_done, n, &fn] {
-      size_t i;
-      while ((i = next->fetch_add(1)) < n) {
-        fn(i);
-        items_done->fetch_add(1);
-      }
-    });
+    Submit([drain] { drain(/*helper=*/true); });
   }
-  work();
-  while (items_done->load() < n) std::this_thread::yield();
+  drain(/*helper=*/false);
+  while (sh->done.load() < n) std::this_thread::yield();
+  stats.helper_items = sh->helper_items.load();
+  if (sh->error) std::rethrow_exception(sh->error);
+  return stats;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -79,7 +125,14 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A throwing Submit() task must not kill the worker; surface the first
+      // failure to whoever waits next.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!task_error_) task_error_ = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

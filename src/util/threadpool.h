@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -12,7 +13,15 @@ namespace joinboost {
 
 /// Fixed-size thread pool. Tasks are plain std::function<void()>; callers
 /// wait for completion via WaitIdle() or their own synchronization.
-/// Used for intra-query parallel aggregation and the inter-query scheduler.
+/// Used for intra-query morsel dispatch and the inter-query scheduler.
+///
+/// Exception semantics: a throw inside a task never kills a worker.
+/// ParallelFor rethrows (in the caller) the exception of the smallest failed
+/// index; exceptions from plain Submit() tasks are stored and rethrown by the
+/// next WaitIdle(). Nested ParallelFor calls from inside workers are safe:
+/// the caller always participates, so progress never depends on a free
+/// worker. WaitIdle() from inside a worker would self-deadlock and throws
+/// instead.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -21,16 +30,33 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task for asynchronous execution.
+  /// Enqueue a task for asynchronous execution. Safe to call from inside a
+  /// worker (the task is queued, never run inline).
   void Submit(std::function<void()> task);
 
-  /// Block until the queue is empty and all workers are idle.
+  /// Block until the queue is empty and all workers are idle, then rethrow
+  /// the first exception captured from a Submit() task (if any). Must not be
+  /// called from inside a worker: that would wait on itself, so it throws.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the current thread is one of this pool's workers.
+  bool InWorker() const;
+
+  struct ParallelForStats {
+    size_t items = 0;         ///< loop iterations executed
+    size_t helper_items = 0;  ///< iterations run by pool workers ("stolen"
+                              ///< from the caller by the dispatch loop)
+  };
+
   /// Run fn(i) for i in [0, n) across the pool and wait for all to finish.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// The caller participates, so this is deadlock-free even when invoked
+  /// from inside a worker with every other worker busy. If any fn(i) throws,
+  /// remaining items are skipped and the smallest index among the items
+  /// that actually threw is rethrown here (which items ran before the
+  /// failure was observed is interleaving-dependent).
+  ParallelForStats ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
@@ -42,6 +68,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr task_error_;  ///< first Submit()-task failure, for WaitIdle
 };
 
 }  // namespace joinboost

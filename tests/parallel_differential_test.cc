@@ -1,0 +1,449 @@
+// Randomized differential harness for morsel-driven parallel execution.
+//
+// Every generated query runs on four engines over identical data:
+//   {planner on, planner off} x {1 thread, N threads}
+// with the morsel knobs lowered so even test-sized inputs fan out. The
+// determinism contract is stronger across thread counts than across planner
+// modes:
+//   * same planner mode, different thread count  -> bit-identical rows in
+//     identical order (morsel merges are ordered, aggregate groups re-sort
+//     to first-occurrence order, float partials never re-associate);
+//   * planner on vs off -> identical ordered rows for ORDER BY queries,
+//     identical row multisets otherwise (join reordering may legally change
+//     the physical order of unordered output).
+// On failure the per-query seed is printed; rerun with
+// JB_DIFF_SEED=<seed> JB_DIFF_COUNT=1 to replay a single query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "core/params.h"
+#include "core/train.h"
+#include "exec/engine.h"
+#include "storage/table.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace joinboost {
+namespace {
+
+using exec::Database;
+using exec::ExecTable;
+
+std::string CellText(const Value& v) {
+  if (v.null) return "NULL";
+  char buf[64];
+  switch (v.type) {
+    case TypeId::kFloat64:
+      std::snprintf(buf, sizeof(buf), "%.17g", v.d);
+      return buf;
+    case TypeId::kString:
+      return v.s;
+    case TypeId::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v.i));
+      return buf;
+  }
+  return "?";
+}
+
+std::vector<std::string> RowStrings(const ExecTable& t) {
+  std::vector<std::string> rows;
+  rows.reserve(t.rows);
+  for (size_t r = 0; r < t.rows; ++r) {
+    std::string row;
+    for (size_t c = 0; c < t.cols.size(); ++c) {
+      if (c) row += "|";
+      row += CellText(t.GetValue(r, c));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// fact(k1, k2, x0, y) with k1 over-ranging d1's key set (LEFT/ANTI joins
+/// produce genuine null-extended rows) and d1 carrying duplicate keys
+/// (multi-match probe order is part of the determinism contract).
+void BuildDiffTables(Database* db, uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  const int64_t kK1Range = 30, kD1Keys = 17, kK2Range = 11;
+  std::vector<int64_t> k1(rows), k2(rows);
+  std::vector<double> x0(rows), y(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    k1[i] = rng.NextInt(0, kK1Range - 1);
+    k2[i] = rng.NextInt(0, kK2Range - 1);
+    x0[i] = rng.NextDouble() * 10;
+    y[i] = 3.0 * x0[i] + static_cast<double>(k1[i]) -
+           2.0 * static_cast<double>(k2[i]) + rng.NextGaussian();
+  }
+  std::vector<int64_t> d1k;
+  std::vector<double> f1;
+  for (int64_t k = 0; k < kD1Keys; ++k) {
+    d1k.push_back(k);
+    f1.push_back(static_cast<double>(rng.NextInt(1, 1000)));
+  }
+  for (int64_t k : {int64_t{2}, int64_t{5}}) {  // duplicate build-side keys
+    d1k.push_back(k);
+    f1.push_back(static_cast<double>(rng.NextInt(1, 1000)));
+  }
+  std::vector<int64_t> d2k;
+  std::vector<double> f2;
+  for (int64_t k = 0; k < kK2Range; ++k) {
+    d2k.push_back(k);
+    f2.push_back(static_cast<double>(rng.NextInt(1, 1000)));
+  }
+  db->RegisterTable(TableBuilder("fact")
+                        .AddInts("k1", k1)
+                        .AddInts("k2", k2)
+                        .AddDoubles("x0", x0)
+                        .AddDoubles("y", y)
+                        .Build());
+  db->RegisterTable(
+      TableBuilder("d1").AddInts("k1", d1k).AddDoubles("f1", f1).Build());
+  db->RegisterTable(
+      TableBuilder("d2").AddInts("k2", d2k).AddDoubles("f2", f2).Build());
+}
+
+EngineProfile DiffProfile(bool use_planner, int threads) {
+  EngineProfile p = EngineProfile::DSwap();
+  p.use_planner = use_planner;
+  p.exec_threads = threads;
+  // Shrink the morsel knobs so test-sized inputs genuinely fan out: a 6k-row
+  // scan becomes ~24 morsels instead of one.
+  p.morsel_rows = 256;
+  p.parallel_threshold_rows = 64;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random query generator.
+// ---------------------------------------------------------------------------
+
+struct GenQuery {
+  std::string sql;
+  bool ordered = false;  ///< ORDER BY pins a total output order
+};
+
+/// One random query over fact ⋈ d1 ⋈ d2. The generator only emits shapes
+/// the engine supports (equi joins, single-level aggregates, ORDER BY over
+/// output columns) and pairs LIMIT with a total order so content is
+/// well-defined under join reordering.
+GenQuery GenerateQuery(uint64_t seed) {
+  Rng rng(seed);
+  GenQuery q;
+
+  // Join shape. 0 = fact only, 1 = +d1, 2 = +d2, 3 = both.
+  int joins = static_cast<int>(rng.NextInt(0, 3));
+  bool has_d1 = joins == 1 || joins == 3;
+  bool has_d2 = joins == 2 || joins == 3;
+  // d1 join flavor: 0-5 inner, 6-7 left, 8 semi, 9 anti.
+  int d1_flavor = has_d1 ? static_cast<int>(rng.NextInt(0, 9)) : -1;
+  bool d1_left = d1_flavor == 6 || d1_flavor == 7;
+  bool d1_semi_anti = d1_flavor >= 8;
+  bool d1_cols = has_d1 && !d1_semi_anti;
+
+  std::string from = "FROM fact";
+  if (has_d1) {
+    const char* kind = d1_semi_anti ? (d1_flavor == 8 ? "SEMI JOIN" : "ANTI JOIN")
+                                    : (d1_left ? "LEFT JOIN" : "JOIN");
+    from += std::string(" ") + kind + " d1 ON fact.k1 = d1.k1";
+  }
+  if (has_d2) from += " JOIN d2 ON fact.k2 = d2.k2";
+
+  // Value expressions available under this join shape.
+  std::vector<std::string> exprs = {
+      "fact.x0", "fact.y", "fact.k1", "fact.k2", "(fact.x0 + fact.y)",
+      "(fact.x0 * 2 + 1)", "(fact.y - fact.x0)"};
+  if (d1_cols) {
+    exprs.push_back("d1.f1");
+    exprs.push_back("(fact.y * d1.f1)");
+    exprs.push_back("(d1.f1 / 100)");
+  }
+  if (has_d2) {
+    exprs.push_back("d2.f2");
+    exprs.push_back("(fact.x0 + d2.f2)");
+  }
+  auto pick_expr = [&]() {
+    return exprs[rng.NextBounded(exprs.size())];
+  };
+
+  // WHERE: 0-2 conjuncts.
+  std::vector<std::string> preds = {
+      "fact.x0 > " + std::to_string(rng.NextInt(0, 8)),
+      "fact.y < " + std::to_string(rng.NextInt(10, 40)),
+      "fact.k1 <> " + std::to_string(rng.NextInt(0, 16)),
+      "fact.x0 BETWEEN 2 AND " + std::to_string(rng.NextInt(4, 9)),
+      "fact.k2 IN (1, 3, 5, " + std::to_string(rng.NextInt(6, 9)) + ")",
+      "NOT fact.k1 = " + std::to_string(rng.NextInt(0, 29)),
+  };
+  if (d1_cols && !d1_left) {
+    preds.push_back("d1.f1 >= " + std::to_string(rng.NextInt(1, 900)));
+  }
+  if (d1_cols && d1_left) {
+    // Null-side predicates must stay above the join (PR 2 regression, now
+    // under the parallel probe as well).
+    preds.push_back(rng.NextInt(0, 1) == 0 ? "d1.f1 IS NULL"
+                                           : "d1.f1 IS NOT NULL");
+  }
+  if (rng.NextInt(0, 9) == 0) {
+    preds.push_back("fact.k1 IN (SELECT d1.k1 FROM d1 WHERE d1.f1 > " +
+                    std::to_string(rng.NextInt(100, 800)) + ")");
+  }
+  int num_preds = static_cast<int>(rng.NextInt(0, 2));
+  std::string where;
+  for (int i = 0; i < num_preds; ++i) {
+    where += (i == 0 ? " WHERE " : " AND ");
+    where += preds[rng.NextBounded(preds.size())];
+  }
+
+  bool aggregate = rng.NextInt(0, 1) == 0;
+  if (aggregate) {
+    std::vector<std::string> keys;
+    int key_shape = static_cast<int>(rng.NextInt(0, 9));
+    if (key_shape < 4) {
+      keys = {"fact.k1"};
+    } else if (key_shape < 7) {
+      keys = {"fact.k2"};
+    } else if (key_shape < 9) {
+      keys = {"fact.k1", "fact.k2"};
+    }  // else: global aggregate, no keys
+    std::vector<std::string> items;
+    std::string group_sql, order_sql;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      items.push_back(keys[i] + " AS g" + std::to_string(i));
+      group_sql += (i == 0 ? " GROUP BY " : ", ") + keys[i];
+      order_sql += (i == 0 ? " ORDER BY " : ", ") + ("g" + std::to_string(i));
+    }
+    int num_aggs = static_cast<int>(rng.NextInt(1, 3));
+    const char* funcs[] = {"SUM", "COUNT", "AVG", "MIN", "MAX"};
+    for (int a = 0; a < num_aggs; ++a) {
+      const char* f = funcs[rng.NextBounded(5)];
+      std::string arg =
+          (std::string(f) == "COUNT" && rng.NextInt(0, 1) == 0) ? "*"
+                                                                : pick_expr();
+      items.push_back(std::string(f) + "(" + arg + ") AS a" +
+                      std::to_string(a));
+    }
+    std::string having;
+    if (!keys.empty() && rng.NextInt(0, 4) == 0) {
+      having = " HAVING COUNT(*) > " + std::to_string(rng.NextInt(1, 5));
+    }
+    std::string limit;
+    if (!keys.empty() && rng.NextInt(0, 4) == 0) {
+      limit = " LIMIT " + std::to_string(rng.NextInt(1, 8));
+    }
+    std::string select = "SELECT ";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i) select += ", ";
+      select += items[i];
+    }
+    // Group keys are unique per output row, so ordering by all of them pins
+    // a total order (required for LIMIT to be content-deterministic).
+    q.sql = select + " " + from + where + group_sql + having + order_sql + limit;
+    q.ordered = true;  // keyed: total order; global: single row
+  } else {
+    int num_items = static_cast<int>(rng.NextInt(1, 3));
+    std::string select = "SELECT ";
+    bool distinct = rng.NextInt(0, 6) == 0;
+    if (distinct) select += "DISTINCT ";
+    std::string order_sql;
+    for (int i = 0; i < num_items; ++i) {
+      std::string alias = "c" + std::to_string(i);
+      if (i) select += ", ";
+      select += pick_expr() + " AS " + alias;
+      order_sql += (i == 0 ? " ORDER BY " : ", ") + alias;
+      if (rng.NextInt(0, 2) == 0) order_sql += " DESC";
+    }
+    bool ordered = rng.NextInt(0, 9) < 7;
+    std::string tail;
+    if (ordered) {
+      // Ordering by every output column makes the sorted sequence unique
+      // even under join reordering (ties are whole-row duplicates).
+      tail = order_sql;
+      if (rng.NextInt(0, 2) == 0) {
+        tail += " LIMIT " + std::to_string(rng.NextInt(1, 200));
+      }
+    }
+    q.sql = select + " " + from + where + tail;
+    q.ordered = ordered;
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// The differential fixture: four engines over identical data.
+// ---------------------------------------------------------------------------
+
+class ParallelDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 6000;
+  void SetUp() override {
+    on1_ = std::make_unique<Database>(DiffProfile(true, 1));
+    onN_ = std::make_unique<Database>(DiffProfile(true, 4));
+    off1_ = std::make_unique<Database>(DiffProfile(false, 1));
+    offN_ = std::make_unique<Database>(DiffProfile(false, 4));
+    for (Database* db : All()) BuildDiffTables(db, /*seed=*/97, kRows);
+  }
+
+  std::vector<Database*> All() {
+    return {on1_.get(), onN_.get(), off1_.get(), offN_.get()};
+  }
+
+  /// Runs `q` everywhere and enforces the contract; failures register as
+  /// gtest expectations (the caller checks HasFailure() to print the seed).
+  void CheckQuery(const GenQuery& q) {
+    auto r_on1 = RowStrings(*on1_->Query(q.sql));
+    auto r_onN = RowStrings(*onN_->Query(q.sql));
+    auto r_off1 = RowStrings(*off1_->Query(q.sql));
+    auto r_offN = RowStrings(*offN_->Query(q.sql));
+    // Thread count must never change anything, not even physical order.
+    EXPECT_EQ(r_on1, r_onN) << "planner ON: 1 thread vs N threads differ";
+    EXPECT_EQ(r_off1, r_offN) << "planner OFF: 1 thread vs N threads differ";
+    // Planner on/off: exact when ordered, multiset otherwise.
+    if (q.ordered) {
+      EXPECT_EQ(r_on1, r_off1) << "planner on/off differ (ordered query)";
+    } else {
+      auto a = r_on1, b = r_off1;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "planner on/off differ (row multiset)";
+    }
+  }
+
+  std::unique_ptr<Database> on1_, onN_, off1_, offN_;
+};
+
+TEST_F(ParallelDifferentialTest, GeneratedQueriesAreBitIdenticalAcrossConfigs) {
+  uint64_t base_seed = 0x4A6F696E42ULL;  // stable across runs
+  if (const char* env = std::getenv("JB_DIFF_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  size_t count = 64;
+  if (const char* env = std::getenv("JB_DIFF_COUNT")) {
+    count = std::strtoull(env, nullptr, 0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t seed = base_seed + i;
+    GenQuery q = GenerateQuery(seed);
+    SCOPED_TRACE("replay: JB_DIFF_SEED=" + std::to_string(seed) +
+                 " JB_DIFF_COUNT=1 | seed " + std::to_string(seed) + " | " +
+                 q.sql);
+    CheckQuery(q);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[parallel_differential] FAILING SEED: %llu\n"
+                   "[parallel_differential] replay with: JB_DIFF_SEED=%llu "
+                   "JB_DIFF_COUNT=1\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+  // The harness must actually have exercised the parallel paths.
+  EXPECT_GT(onN_->PlanStatsTotals().morsels_dispatched, 0u)
+      << "N-thread engine never dispatched a morsel: thresholds broken?";
+  EXPECT_EQ(on1_->PlanStatsTotals().morsels_dispatched, 0u)
+      << "1-thread engine dispatched morsels: serial baseline broken?";
+}
+
+TEST_F(ParallelDifferentialTest,
+       LeftJoinNullSideWherePushdownStaysCorrectUnderParallelProbe) {
+  // PR 2 regression, re-pinned under the morsel probe: the WHERE refers to
+  // the nullable side, so pushing it below the LEFT JOIN would drop the
+  // null-extended rows it is meant to select. fact.k1 ranges over [0, 30)
+  // but d1 only covers [0, 17), so the null side is genuinely populated.
+  const char* q =
+      "SELECT fact.k1 AS k, COUNT(*) AS c FROM fact LEFT JOIN d1 "
+      "ON fact.k1 = d1.k1 WHERE d1.f1 IS NULL GROUP BY fact.k1 ORDER BY k";
+  std::vector<std::vector<std::string>> results;
+  for (Database* db : All()) results.push_back(RowStrings(*db->Query(q)));
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "config " << i;
+  }
+  // Only k1 >= 17 rows survive; every surviving key must be >= 17.
+  auto t = onN_->Query(q);
+  ASSERT_GT(t->rows, 0u);
+  for (size_t r = 0; r < t->rows; ++r) {
+    EXPECT_GE(t->GetValue(r, 0).i, 17) << "matched row leaked through";
+  }
+  // Cross-check the total against the unfiltered null count.
+  double nulls = onN_->QueryScalarDouble(
+      "SELECT COUNT(*) AS c FROM fact LEFT JOIN d1 ON fact.k1 = d1.k1 "
+      "WHERE d1.f1 IS NULL");
+  double total = 0;
+  for (size_t r = 0; r < t->rows; ++r) total += t->GetValue(r, 1).AsDouble();
+  EXPECT_EQ(nulls, total);
+}
+
+TEST_F(ParallelDifferentialTest, SemiAntiJoinsMatchAcrossConfigs) {
+  // Fixed shapes that exercise the partitioned build + parallel probe with
+  // filtered gathers on the probe side only.
+  const char* queries[] = {
+      "SELECT COUNT(*) AS c FROM fact SEMI JOIN d1 ON fact.k1 = d1.k1",
+      "SELECT COUNT(*) AS c FROM fact ANTI JOIN d1 ON fact.k1 = d1.k1",
+      "SELECT fact.k2 AS k, SUM(fact.y) AS s FROM fact "
+      "SEMI JOIN d1 ON fact.k1 = d1.k1 WHERE fact.x0 > 3 "
+      "GROUP BY fact.k2 ORDER BY k",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    std::vector<std::vector<std::string>> results;
+    for (Database* db : All()) results.push_back(RowStrings(*db->Query(q)));
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0], results[i]) << "config " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full training run: thread count and planner mode must not change a bit.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTrainEquivalenceTest, GbdtIsBitIdenticalAcrossThreadsAndPlanner) {
+  struct Config {
+    bool planner;
+    int threads;
+  };
+  const Config configs[] = {{true, 1}, {true, 4}, {false, 1}, {false, 4}};
+  std::vector<std::string> model_strings;
+  std::vector<std::vector<double>> predictions;
+  for (const Config& c : configs) {
+    Database db(DiffProfile(c.planner, c.threads));
+    test_util::BuildSmallSnowflake(&db, /*seed=*/123, /*rows=*/4000);
+    Dataset ds = test_util::MakeSnowflakeDataset(&db);
+    core::TrainParams params;
+    params.boosting = "gbdt";
+    params.num_iterations = 3;
+    params.num_leaves = 4;
+    TrainResult res = Train(params, ds);
+    model_strings.push_back(res.model.ToString());
+    core::JoinedEval eval = core::MaterializeJoin(ds);
+    std::vector<double> preds(eval.rows());
+    for (size_t r = 0; r < eval.rows(); ++r) {
+      preds[r] = eval.Predict(res.model, r);
+    }
+    predictions.push_back(std::move(preds));
+    if (c.threads > 1) {
+      EXPECT_GT(res.plan_stats.morsels_dispatched, 0u)
+          << "parallel training run never dispatched a morsel";
+    }
+  }
+  for (size_t i = 1; i < model_strings.size(); ++i) {
+    EXPECT_EQ(model_strings[0], model_strings[i])
+        << "model diverged: config " << i;
+    ASSERT_EQ(predictions[0].size(), predictions[i].size());
+    for (size_t r = 0; r < predictions[0].size(); ++r) {
+      ASSERT_EQ(predictions[0][r], predictions[i][r])
+          << "prediction diverged at row " << r << ", config " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joinboost

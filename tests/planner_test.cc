@@ -468,9 +468,52 @@ TEST(PlannerStatsTest, ProjectionPruningSkipsDecompression) {
   EXPECT_EQ(with_planner.rows_scan_output, 3u);
 }
 
+TEST(PlannerRulesTest, DopEstimateFollowsMorselPolicy) {
+  plan::ParallelPolicy p;
+  p.threads = 4;
+  p.morsel_rows = 16384;
+  p.threshold_rows = 8192;
+  EXPECT_EQ(p.DopForRows(-1), 1);       // unknown cardinality: stay serial
+  EXPECT_EQ(p.DopForRows(4000), 1);     // below threshold
+  EXPECT_EQ(p.DopForRows(8192), 1);     // one morsel
+  EXPECT_EQ(p.DopForRows(20000), 2);    // two morsels, capped by count
+  EXPECT_EQ(p.DopForRows(1000000), 4);  // capped by thread budget
+  p.threads = 1;
+  EXPECT_EQ(p.DopForRows(1000000), 1);  // serial engine never fans out
+}
+
+TEST(PlannerEngineTest, ExplainSurfacesDopOnLargeScansOnly) {
+  Database db(EngineProfile::DSwap());
+  std::vector<int64_t> big_a(100000), big_b(100000);
+  for (size_t i = 0; i < big_a.size(); ++i) {
+    big_a[i] = static_cast<int64_t>(i % 97);
+    big_b[i] = static_cast<int64_t>(i % 13);
+  }
+  db.RegisterTable(
+      TableBuilder("big").AddInts("a", big_a).AddInts("b", big_b).Build());
+  db.RegisterTable(TableBuilder("tiny").AddInts("a", {1, 2, 3}).Build());
+  auto text = [&](const std::string& sql) {
+    auto t = db.Query(sql);
+    std::string out;
+    for (size_t r = 0; r < t->rows; ++r) out += t->GetValue(r, 0).s + "\n";
+    return out;
+  };
+  // 100k rows = 7 morsels at the default 16384, more than the thread budget:
+  // the scan and the aggregate above it advertise the full pool-clamped DOP.
+  std::string big_plan = text(
+      "EXPLAIN SELECT a, COUNT(*) AS c FROM big WHERE b > 5 GROUP BY a");
+  std::string want = "dop=" + std::to_string(db.exec_threads());
+  if (db.exec_threads() > 1) {
+    EXPECT_NE(big_plan.find(want), std::string::npos) << big_plan;
+  }
+  // Tiny tables stay serial and render exactly as before (golden stability).
+  std::string tiny_plan = text("EXPLAIN SELECT a FROM tiny WHERE a > 1");
+  EXPECT_EQ(tiny_plan.find("dop="), std::string::npos) << tiny_plan;
+}
+
 TEST(PlannerEngineTest, IntraQueryThreadsClampedToPoolSize) {
   EngineProfile p = EngineProfile::DSwap();
-  p.intra_query_threads = 1 << 20;
+  p.exec_threads = 1 << 20;
   Database db(p);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0) {

@@ -1,0 +1,121 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace joinboost {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::ParallelForStats stats =
+      pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(stats.items, 1000u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskExceptionToCaller) {
+  ThreadPool pool(4);
+  // Whatever the interleaving, the exception of the smallest failing index
+  // must surface in the calling thread.
+  EXPECT_THROW(
+      {
+        pool.ParallelFor(256, [&](size_t i) {
+          if (i % 5 == 0) throw std::runtime_error("item " + std::to_string(i));
+        });
+      },
+      std::runtime_error);
+  try {
+    pool.ParallelFor(256, [&](size_t i) {
+      if (i >= 7) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Smallest *thrown* index wins; an index below 7 can never throw, and
+    // once a failure is recorded remaining items are skipped, so the
+    // surfaced index stays close to the trigger.
+    EXPECT_GE(std::stoul(e.what()), 7u);
+  }
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionOnSingleWorkerPool) {
+  ThreadPool pool(1);  // serial fallback path
+  EXPECT_THROW(
+      pool.ParallelFor(8, [](size_t i) {
+        if (i == 3) throw std::logic_error("boom");
+      }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionSurfacesInWaitIdle) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("background failure"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The error is consumed: the next wait succeeds and workers survived.
+  pool.WaitIdle();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) pool.Submit([&] { ran.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkersDoesNotDeadlock) {
+  // Every worker is busy with an outer item that itself fans out on the same
+  // pool; caller-runs dispatch must drain the inner loops regardless.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(32, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 32);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, WaitIdleFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.Submit([&] {
+    try {
+      pool.WaitIdle();
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [&](size_t) {
+        pool.ParallelFor(16, [](size_t j) {
+          if (j == 5) throw std::runtime_error("inner");
+        });
+      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace joinboost
