@@ -44,6 +44,12 @@ struct TrainParams {
   /// forest trees concurrently.
   bool inter_query_parallelism = false;
 
+  /// Batched split evaluation: collapse per-leaf split search from one query
+  /// per feature to one GROUPING SETS histogram query per relation, with
+  /// threshold enumeration in a C++ kernel (bit-identical to the per-feature
+  /// SQL path, which stays available for differential testing).
+  bool batch_split_evaluation = true;
+
   /// Trainer variant (Fig 16a): "factorized" (JoinBoost), "batch" (per-node
   /// batches, no cross-node message caching — the LMFAO proxy), or "naive"
   /// (materialize the join, no factorization).

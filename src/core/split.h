@@ -48,5 +48,42 @@ std::string CategoricalBestSplitSql(
     const std::string& attr, const factor::Factorizer::AbsorptionParts& abs,
     const CriterionParams& p);
 
+// ---- batched split evaluation (one histogram query per relation) ----
+
+/// One (value, c, s) bin of a feature histogram, in aggregation (group
+/// first-occurrence) order — exactly the rows the batched GROUPING SETS
+/// query emits for one feature.
+struct HistogramEntry {
+  Value val;
+  Value c;
+  Value s;
+};
+
+/// Winning row of the threshold enumeration over one histogram. `criteria`
+/// may be NaN/inf — the caller invalidates such candidates, exactly like the
+/// consumer of the per-feature SQL result does.
+struct HistogramSplit {
+  bool valid = false;  ///< some bin passed the bounds predicate
+  Value val;
+  double c = 0;
+  double s = 0;
+  double criteria = 0;
+};
+
+/// Criterion over cumulative (c, s): mirrors CriterionSql() operation for
+/// operation — including SQL division-by-zero → NULL (NaN) — so the batched
+/// C++ kernel produces bit-identical gains to the SQL expression evaluator.
+double CriterionValue(double c, double s, const CriterionParams& p);
+
+/// Threshold enumeration over one feature's histogram: the C++ twin of the
+/// per-feature best-split SQL. Numeric features get the window-style prefix
+/// sums (stable sort by value, running sums in that order); both kinds then
+/// apply the bounds predicate, the criterion and the ORDER BY criteria DESC
+/// LIMIT 1 argmax (first row wins ties; NULL criteria sorts first under
+/// DESC, as in SortExec). Bit-identical to executing the SQL.
+HistogramSplit BestSplitFromHistogram(const std::vector<HistogramEntry>& bins,
+                                      bool categorical,
+                                      const CriterionParams& p);
+
 }  // namespace core
 }  // namespace joinboost

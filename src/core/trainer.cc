@@ -47,6 +47,10 @@ SplitCandidate TreeGrower::BestSplit(const LeafState& leaf,
   crit.min_leaf = params_.min_data_in_leaf;
   crit.halved = true;
 
+  if (params_.batch_split_evaluation) {
+    return BestSplitBatched(by_rel, leaf, crit);
+  }
+
   // Phase 1 (serial): ensure messages exist per root relation. The
   // factorizer cache is not thread-safe; split queries below are read-only.
   struct Job {
@@ -114,6 +118,96 @@ SplitCandidate TreeGrower::BestSplit(const LeafState& leaf,
     if (cand.valid && cand.gain > best_gain) {
       best_gain = cand.gain;
       best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+SplitCandidate TreeGrower::BestSplitBatched(
+    const std::map<int, std::vector<std::string>>& by_rel,
+    const LeafState& leaf, const CriterionParams& crit) {
+  // Phase 1 (serial): build each relation's absorption (materializing any
+  // missing messages — the factorizer cache is not thread-safe) and compose
+  // one GROUPING SETS histogram query per relation.
+  struct RelJob {
+    int rel = 0;
+    const std::vector<std::string>* feats = nullptr;
+    std::vector<bool> categorical;
+    std::string sql;
+    std::vector<SplitCandidate> candidates;  ///< one slot per feature
+  };
+  std::vector<RelJob> jobs;
+  jobs.reserve(by_rel.size());
+  for (const auto& [rel, feats] : by_rel) {
+    RelJob job;
+    job.rel = rel;
+    job.feats = &feats;
+    job.categorical.reserve(feats.size());
+    for (const auto& f : feats) job.categorical.push_back(IsCategorical(rel, f));
+    job.sql = fac_->BatchedHistogramSql(rel, feats, leaf.preds, "message");
+    job.candidates.resize(feats.size());
+    jobs.push_back(std::move(job));
+  }
+
+  // Phase 2 (optionally parallel across relations): run the histogram query,
+  // demultiplex rows into per-feature histograms by set_id, and enumerate
+  // thresholds in the C++ kernel.
+  auto run_one = [&](size_t j) {
+    RelJob& job = jobs[j];
+    const std::vector<std::string>& feats = *job.feats;
+    auto res = fac_->db()->Query(job.sql, "feature");
+    // Column layout: set_id, feats..., c, s[, q].
+    const size_t c_col = 1 + feats.size();
+    const size_t s_col = c_col + 1;
+    std::vector<std::vector<HistogramEntry>> hists(feats.size());
+    for (size_t r = 0; r < res->rows; ++r) {
+      const size_t sid = static_cast<size_t>(res->GetValue(r, 0).i);
+      HistogramEntry e;
+      e.val = res->GetValue(r, 1 + sid);
+      e.c = res->GetValue(r, c_col);
+      e.s = res->GetValue(r, s_col);
+      hists[sid].push_back(std::move(e));
+    }
+    for (size_t fi = 0; fi < feats.size(); ++fi) {
+      HistogramSplit hs =
+          BestSplitFromHistogram(hists[fi], job.categorical[fi], crit);
+      SplitCandidate cand;
+      // Same validity rules as the per-feature result consumer.
+      if (hs.valid && std::isfinite(hs.criteria) && !hs.val.null) {
+        cand.valid = true;
+        cand.feature = feats[fi];
+        cand.relation = job.rel;
+        cand.categorical = job.categorical[fi];
+        cand.gain = hs.criteria;
+        cand.c_left = hs.c;
+        cand.s_left = hs.s;
+        if (cand.categorical) {
+          cand.category = hs.val.i;
+          cand.category_str = hs.val.s;
+        } else {
+          cand.threshold = hs.val.AsDouble();
+        }
+      }
+      job.candidates[fi] = std::move(cand);
+    }
+  };
+  split_queries_ += jobs.size();
+  if (params_.inter_query_parallelism && jobs.size() > 1) {
+    fac_->db()->pool().ParallelFor(jobs.size(), run_one);
+  } else {
+    for (size_t j = 0; j < jobs.size(); ++j) run_one(j);
+  }
+
+  // Merge in (relation, feature) order — the per-feature path's candidate
+  // order — with the same strict-greater comparison and floor.
+  SplitCandidate best;
+  double best_gain = std::max(params_.min_gain, 1e-12);
+  for (auto& job : jobs) {
+    for (auto& cand : job.candidates) {
+      if (cand.valid && cand.gain > best_gain) {
+        best_gain = cand.gain;
+        best = std::move(cand);
+      }
     }
   }
   return best;

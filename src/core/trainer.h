@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/model.h"
@@ -40,6 +42,8 @@ class TreeGrower {
                     const std::vector<int>* clusters);
 
   /// Number of best-split queries issued so far (Fig 9 instrumentation).
+  /// Per-feature path: one per (leaf, feature). Batched path: one per
+  /// (leaf, relation carrying candidate features).
   size_t split_queries() const { return split_queries_; }
 
  private:
@@ -55,6 +59,12 @@ class TreeGrower {
   SplitCandidate BestSplit(const LeafState& leaf,
                            const std::vector<std::string>& features,
                            const std::vector<int>* allowed);
+  /// Batched path: one GROUPING SETS histogram query per relation, threshold
+  /// enumeration in C++ (split.cc). Candidate comparison order matches the
+  /// per-feature path exactly, so results are bit-identical.
+  SplitCandidate BestSplitBatched(
+      const std::map<int, std::vector<std::string>>& by_rel,
+      const LeafState& leaf, const CriterionParams& crit);
   bool IsCategorical(int rel, const std::string& feature) const;
 
   factor::Factorizer* fac_;

@@ -17,6 +17,7 @@ namespace exec {
 namespace {
 
 using sql::CollectColumnRefs;
+using sql::CollectFuncCalls;
 using sql::CombineConjuncts;
 using sql::OutputName;
 using sql::SplitConjuncts;
@@ -357,20 +358,53 @@ ExecTable Database::FinishSelect(const sql::SelectStmt& stmt,
   }
   if (stmt.having) CollectAggregates(stmt.having, &agg_nodes);
 
+  std::vector<AggSpec> specs;
+  specs.reserve(agg_nodes.size());
+  for (const auto* node : agg_nodes) {
+    AggSpec spec;
+    spec.node = node;
+    spec.func = node->op;
+    spec.arg = (node->args.empty() ||
+                node->args[0]->kind == sql::ExprKind::kStar)
+                   ? nullptr
+                   : node->args[0].get();
+    specs.push_back(spec);
+  }
+
   ExecTable projected;
-  if (!stmt.group_by.empty() || !agg_nodes.empty()) {
-    std::vector<AggSpec> specs;
-    specs.reserve(agg_nodes.size());
-    for (const auto* node : agg_nodes) {
-      AggSpec spec;
-      spec.node = node;
-      spec.func = node->op;
-      spec.arg = (node->args.empty() ||
-                  node->args[0]->kind == sql::ExprKind::kStar)
-                     ? nullptr
-                     : node->args[0].get();
-      specs.push_back(spec);
+  if (!stmt.grouping_sets.empty()) {
+    // GROUP BY GROUPING SETS: evaluate every set over the shared data
+    // section in one multi-aggregate pass, then project over the stitched
+    // result. GROUPING_ID() resolves to the per-row set index.
+    JB_CHECK_MSG(!stmt.having, "HAVING with GROUPING SETS is not supported");
+    MultiAggResult mar =
+        MultiAggExec(current, stmt.grouping_sets, specs, ectx, octx);
+    EvalContext pctx;
+    pctx.run_subquery = ectx.run_subquery;
+    for (size_t a = 0; a < specs.size(); ++a) {
+      pctx.overrides.emplace(specs[a].node, mar.agg_outputs[a]);
     }
+    std::vector<const sql::Expr*> gid_nodes;
+    for (const auto& item : stmt.select_list) {
+      CollectFuncCalls(item, "GROUPING_ID", &gid_nodes);
+    }
+    for (const auto* n : gid_nodes) pctx.overrides.emplace(n, mar.grouping_id);
+    std::vector<VectorData> key_cols;
+    for (size_t u = 0; u < mar.union_key_sql.size(); ++u) {
+      key_cols.push_back(mar.table.cols[u].data);
+    }
+    for (const auto& item : stmt.select_list) {
+      OverrideGroupRefs(item, mar.union_key_sql, key_cols, &pctx);
+    }
+    projected.rows = mar.table.rows;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const auto& item = stmt.select_list[i];
+      JB_CHECK_MSG(item->kind != sql::ExprKind::kStar,
+                   "SELECT * with GROUPING SETS is not supported");
+      VectorData v = EvalExpr(*item, mar.table, pctx);
+      projected.cols.push_back({"", OutputName(*item, i), std::move(v)});
+    }
+  } else if (!stmt.group_by.empty() || !agg_nodes.empty()) {
     std::vector<VectorData> agg_outputs;
     ExecTable grouped = HashAggExec(current, stmt.group_by, specs, ectx, octx,
                                     &agg_outputs);

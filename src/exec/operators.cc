@@ -453,57 +453,36 @@ VectorData FinishAgg(const AggSpec& spec, const AggAccum& acc,
   JB_THROW("unknown aggregate " << f);
 }
 
-}  // namespace
-
-ExecTable HashAggExec(const ExecTable& input,
-                      const std::vector<sql::ExprPtr>& group_by,
-                      const std::vector<AggSpec>& aggs, EvalContext& ectx,
-                      const OpContext& ctx,
-                      std::vector<VectorData>* agg_outputs) {
-  // 1. Evaluate key expressions and aggregate arguments (morsel-parallel;
-  // falls back to serial for small inputs or override-bearing contexts).
-  std::vector<VectorData> key_vals;
-  key_vals.reserve(group_by.size());
-  for (const auto& g : group_by) {
-    key_vals.push_back(morsel::ParallelEvalExpr(*g, input, ectx, ctx));
-  }
-  std::vector<VectorData> arg_vals(aggs.size());
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    if (aggs[a].arg != nullptr) {
-      arg_vals[a] = morsel::ParallelEvalExpr(*aggs[a].arg, input, ectx, ctx);
-    }
-  }
-
-  // 2. Group.
-  ExecTable key_table;
-  key_table.rows = input.rows;
-  for (size_t i = 0; i < key_vals.size(); ++i) {
-    const sql::Expr& g = *group_by[i];
-    std::string qual = g.kind == sql::ExprKind::kColumnRef ? g.table : "";
-    std::string name = g.kind == sql::ExprKind::kColumnRef
-                           ? g.column
-                           : ("__group" + std::to_string(i));
-    key_table.cols.push_back({qual, name, key_vals[i]});
-  }
-
-  GroupResult groups;
+/// Grouping + accumulation outcome over pre-evaluated key/argument vectors.
+/// `representatives` is empty for the keyless (global) group.
+struct GroupedAggs {
+  std::vector<uint32_t> representatives;
   size_t num_groups = 0;
-  std::vector<uint32_t> all_rows(input.rows);
-  for (size_t i = 0; i < input.rows; ++i) all_rows[i] = static_cast<uint32_t>(i);
-
   std::vector<AggAccum> accums;
-  if (group_by.empty()) {
-    // Global aggregation: one group.
-    num_groups = 1;
-    groups.group_ids.assign(input.rows, 0);
-    groups.num_groups = 1;
-    Accumulate(aggs, arg_vals, groups.group_ids, all_rows, 1, &accums);
-  } else {
-    std::vector<int> key_cols;
-    for (size_t i = 0; i < key_vals.size(); ++i) {
-      key_cols.push_back(static_cast<int>(i));
-    }
-    if (ctx.CanParallel(input.rows)) {
+};
+
+/// Group `rows` input rows by the pre-evaluated `key_vals` and accumulate
+/// every AggSpec — the core of HashAggExec, shared with MultiAggExec so each
+/// grouping set aggregates exactly as a standalone GROUP BY would. The
+/// parallel path hash-partitions by key and is bit-identical to serial for
+/// any thread count (see the comments inline).
+GroupedAggs GroupAndAccumulate(const std::vector<VectorData>& key_vals,
+                               const std::vector<AggSpec>& aggs,
+                               const std::vector<VectorData>& arg_vals,
+                               size_t rows, const OpContext& ctx) {
+  GroupedAggs out;
+  std::vector<uint32_t> all_rows(rows);
+  for (size_t i = 0; i < rows; ++i) all_rows[i] = static_cast<uint32_t>(i);
+
+  if (key_vals.empty()) {
+    // Global aggregation: one group (even over an empty input).
+    out.num_groups = 1;
+    std::vector<uint32_t> gids(rows, 0);
+    Accumulate(aggs, arg_vals, gids, all_rows, 1, &out.accums);
+    return out;
+  }
+
+  if (ctx.CanParallel(rows)) {
       // Hash-partition by key, then group + aggregate each partition with a
       // thread-local hash table (intra-query parallelism, §5.5.3). Every
       // group lives entirely in one partition and each partition scans its
@@ -516,7 +495,7 @@ ExecTable HashAggExec(const ExecTable& input,
       std::vector<const VectorData*> keys;
       for (const auto& kv : key_vals) keys.push_back(&kv);
       morsel::PartitionedRows pr = morsel::PartitionByHash(
-          ctx, input.rows, P, [&](size_t r) { return HashRow(keys, r); });
+          ctx, rows, P, [&](size_t r) { return HashRow(keys, r); });
       const std::vector<uint64_t>& hashes = pr.hashes;
       struct PartResult {
         std::vector<uint32_t> reps;
@@ -568,10 +547,11 @@ ExecTable HashAggExec(const ExecTable& input,
                 [](const GroupRef& a, const GroupRef& b) {
                   return a.rep < b.rep;
                 });
-      num_groups = order.size();
-      accums.resize(aggs.size());
+      const size_t num_groups = order.size();
+      out.num_groups = num_groups;
+      out.accums.resize(aggs.size());
       for (size_t a = 0; a < aggs.size(); ++a) {
-        AggAccum& dst = accums[a];
+        AggAccum& dst = out.accums[a];
         const std::string& f = aggs[a].func;
         dst.int_sum = f == "SUM" && (aggs[a].arg == nullptr ||
                                      arg_vals[a].type != TypeId::kFloat64);
@@ -600,37 +580,220 @@ ExecTable HashAggExec(const ExecTable& input,
           if (!src.dmax.empty()) dst.dmax[g] = src.dmax[lg];
         }
       }
-      groups.representatives.clear();
-      groups.representatives.reserve(num_groups);
-      for (const GroupRef& gr : order) groups.representatives.push_back(gr.rep);
-      groups.num_groups = num_groups;
-    } else {
-      groups = GroupRows(key_table, key_cols, ctx);
-      num_groups = groups.num_groups;
-      Accumulate(aggs, arg_vals, groups.group_ids, all_rows, num_groups,
-                 &accums);
+      out.representatives.reserve(num_groups);
+      for (const GroupRef& gr : order) out.representatives.push_back(gr.rep);
+      return out;
+  }
+
+  // Serial path: GroupRows over a thin ExecTable view of the key vectors.
+  ExecTable key_table;
+  key_table.rows = rows;
+  std::vector<int> key_cols;
+  for (size_t i = 0; i < key_vals.size(); ++i) {
+    key_table.cols.push_back({"", "__k" + std::to_string(i), key_vals[i]});
+    key_cols.push_back(static_cast<int>(i));
+  }
+  GroupResult groups = GroupRows(key_table, key_cols, ctx);
+  out.num_groups = groups.num_groups;
+  out.representatives = std::move(groups.representatives);
+  Accumulate(aggs, arg_vals, groups.group_ids, all_rows, out.num_groups,
+             &out.accums);
+  return out;
+}
+
+}  // namespace
+
+ExecTable HashAggExec(const ExecTable& input,
+                      const std::vector<sql::ExprPtr>& group_by,
+                      const std::vector<AggSpec>& aggs, EvalContext& ectx,
+                      const OpContext& ctx,
+                      std::vector<VectorData>* agg_outputs) {
+  // 1. Evaluate key expressions and aggregate arguments (morsel-parallel;
+  // falls back to serial for small inputs or override-bearing contexts).
+  std::vector<VectorData> key_vals;
+  key_vals.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    key_vals.push_back(morsel::ParallelEvalExpr(*g, input, ectx, ctx));
+  }
+  std::vector<VectorData> arg_vals(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg != nullptr) {
+      arg_vals[a] = morsel::ParallelEvalExpr(*aggs[a].arg, input, ectx, ctx);
     }
   }
+
+  // 2. Group + accumulate (shared with MultiAggExec).
+  GroupedAggs grouped =
+      GroupAndAccumulate(key_vals, aggs, arg_vals, input.rows, ctx);
+  const size_t num_groups = grouped.num_groups;
 
   // 3. Build output: key columns (representative rows) + aggregate columns.
   ExecTable out;
   out.rows = num_groups;
-  if (!group_by.empty()) {
-    for (size_t i = 0; i < key_table.cols.size(); ++i) {
-      out.cols.push_back(
-          {key_table.cols[i].qualifier, key_table.cols[i].name,
-           morsel::ParallelGather(key_table.cols[i].data,
-                                  groups.representatives, ctx)});
-    }
+  for (size_t i = 0; i < key_vals.size(); ++i) {
+    const sql::Expr& g = *group_by[i];
+    std::string qual = g.kind == sql::ExprKind::kColumnRef ? g.table : "";
+    std::string name = g.kind == sql::ExprKind::kColumnRef
+                           ? g.column
+                           : ("__group" + std::to_string(i));
+    out.cols.push_back(
+        {std::move(qual), std::move(name),
+         morsel::ParallelGather(key_vals[i], grouped.representatives, ctx)});
   }
   agg_outputs->clear();
   for (size_t a = 0; a < aggs.size(); ++a) {
-    VectorData v = FinishAgg(aggs[a], accums[a],
+    VectorData v = FinishAgg(aggs[a], grouped.accums[a],
                              aggs[a].arg ? &arg_vals[a] : nullptr, num_groups);
     agg_outputs->push_back(v);
     out.cols.push_back({"", "__agg" + std::to_string(a), std::move(v)});
   }
   return out;
+}
+
+MultiAggResult MultiAggExec(const ExecTable& input,
+                            const std::vector<std::vector<sql::ExprPtr>>& sets,
+                            const std::vector<AggSpec>& aggs,
+                            EvalContext& ectx, const OpContext& ctx) {
+  MultiAggResult res;
+
+  // 1. Union of key expressions across sets (first-appearance order), matched
+  // by printed SQL text so `x0` in set 2 reuses set 0's evaluated vector.
+  std::vector<const sql::Expr*> union_keys;
+  std::vector<std::vector<size_t>> set_keys(sets.size());  // union indices
+  for (size_t s = 0; s < sets.size(); ++s) {
+    for (const auto& g : sets[s]) {
+      std::string printed = sql::ToSql(*g);
+      size_t u = 0;
+      for (; u < res.union_key_sql.size(); ++u) {
+        if (res.union_key_sql[u] == printed) break;
+      }
+      if (u == res.union_key_sql.size()) {
+        res.union_key_sql.push_back(std::move(printed));
+        union_keys.push_back(g.get());
+      }
+      set_keys[s].push_back(u);
+    }
+  }
+
+  // 2. Evaluate every union key and aggregate argument exactly once over the
+  // shared input — this is where the batched path saves O(#sets) re-scans.
+  std::vector<VectorData> union_vals;
+  union_vals.reserve(union_keys.size());
+  for (const auto* g : union_keys) {
+    union_vals.push_back(morsel::ParallelEvalExpr(*g, input, ectx, ctx));
+  }
+  std::vector<VectorData> arg_vals(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg != nullptr) {
+      arg_vals[a] = morsel::ParallelEvalExpr(*aggs[a].arg, input, ectx, ctx);
+    }
+  }
+
+  // 3. Group + accumulate per set, reusing the exact HashAggExec machinery:
+  // each set's groups, order and float sums are bit-identical to running its
+  // plain GROUP BY (serial or morsel-parallel).
+  std::vector<GroupedAggs> grouped(sets.size());
+  std::vector<std::vector<VectorData>> set_aggs(sets.size());
+  size_t total_rows = 0;
+  for (size_t s = 0; s < sets.size(); ++s) {
+    std::vector<VectorData> key_vals;
+    key_vals.reserve(set_keys[s].size());
+    for (size_t u : set_keys[s]) key_vals.push_back(union_vals[u]);
+    grouped[s] = GroupAndAccumulate(key_vals, aggs, arg_vals, input.rows, ctx);
+    set_aggs[s].reserve(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      set_aggs[s].push_back(FinishAgg(aggs[a], grouped[s].accums[a],
+                                      aggs[a].arg ? &arg_vals[a] : nullptr,
+                                      grouped[s].num_groups));
+    }
+    total_rows += grouped[s].num_groups;
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->multi_aggs;
+    ctx.stats->grouping_sets += sets.size();
+  }
+
+  // 4. Stitch the combined output: sets concatenate in declaration order;
+  // union keys absent from a row's set are NULL (standard GROUPING SETS
+  // semantics), and grouping_id records the set index per row.
+  res.table.rows = total_rows;
+  for (size_t u = 0; u < union_vals.size(); ++u) {
+    const VectorData& src = union_vals[u];
+    const sql::Expr& g = *union_keys[u];
+    VectorData col;
+    col.type = src.type;
+    col.dict = src.dict;
+    if (src.type == TypeId::kFloat64) {
+      std::vector<double> vals;
+      vals.reserve(total_rows);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        bool present = std::find(set_keys[s].begin(), set_keys[s].end(), u) !=
+                       set_keys[s].end();
+        if (present) {
+          for (uint32_t r : grouped[s].representatives) {
+            vals.push_back((*src.dbls)[r]);
+          }
+        } else {
+          vals.insert(vals.end(), grouped[s].num_groups, NullFloat64());
+        }
+      }
+      col.dbls = std::make_shared<const std::vector<double>>(std::move(vals));
+    } else {
+      std::vector<int64_t> vals;
+      vals.reserve(total_rows);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        bool present = std::find(set_keys[s].begin(), set_keys[s].end(), u) !=
+                       set_keys[s].end();
+        if (present) {
+          for (uint32_t r : grouped[s].representatives) {
+            vals.push_back((*src.ints)[r]);
+          }
+        } else {
+          vals.insert(vals.end(), grouped[s].num_groups, kNullInt64);
+        }
+      }
+      col.ints = std::make_shared<const std::vector<int64_t>>(std::move(vals));
+    }
+    std::string qual = g.kind == sql::ExprKind::kColumnRef ? g.table : "";
+    std::string name = g.kind == sql::ExprKind::kColumnRef
+                           ? g.column
+                           : ("__group" + std::to_string(u));
+    res.table.cols.push_back({std::move(qual), std::move(name), std::move(col)});
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const TypeId agg_type = set_aggs.empty() ? TypeId::kInt64
+                                             : set_aggs[0][a].type;
+    VectorData col;
+    col.type = agg_type;
+    if (agg_type == TypeId::kFloat64) {
+      std::vector<double> vals;
+      vals.reserve(total_rows);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        const VectorData& v = set_aggs[s][a];
+        vals.insert(vals.end(), v.Dbls().begin(), v.Dbls().end());
+      }
+      col.dbls = std::make_shared<const std::vector<double>>(std::move(vals));
+    } else {
+      std::vector<int64_t> vals;
+      vals.reserve(total_rows);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        const VectorData& v = set_aggs[s][a];
+        vals.insert(vals.end(), v.Ints().begin(), v.Ints().end());
+      }
+      col.ints = std::make_shared<const std::vector<int64_t>>(std::move(vals));
+    }
+    res.agg_outputs.push_back(col);
+    res.table.cols.push_back({"", "__agg" + std::to_string(a), std::move(col)});
+  }
+  {
+    std::vector<int64_t> gid;
+    gid.reserve(total_rows);
+    for (size_t s = 0; s < sets.size(); ++s) {
+      gid.insert(gid.end(), grouped[s].num_groups, static_cast<int64_t>(s));
+    }
+    res.grouping_id = VectorData::FromInts(std::move(gid));
+  }
+  return res;
 }
 
 ExecTable SortExec(const ExecTable& input,

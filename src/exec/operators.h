@@ -95,6 +95,29 @@ ExecTable HashAggExec(const ExecTable& input,
                       const OpContext& ctx,
                       std::vector<VectorData>* agg_outputs);
 
+/// Result of the multi-aggregate (GROUP BY GROUPING SETS) operator: one
+/// output row per group of each grouping set, sets concatenated in
+/// declaration order. `table` holds the union of all key expressions (in
+/// first-appearance order, NULL-extended for rows whose set lacks the key)
+/// followed by one column per aggregate; `grouping_id` carries the set index
+/// of every row (the GROUPING_ID() pseudo-function).
+struct MultiAggResult {
+  ExecTable table;
+  std::vector<VectorData> agg_outputs;    ///< aligned with the AggSpec list
+  VectorData grouping_id;                 ///< int64 set index per output row
+  std::vector<std::string> union_key_sql; ///< printed key exprs, union order
+};
+
+/// Evaluate every grouping set over one shared input. Key expressions and
+/// aggregate arguments are evaluated exactly once; each set then reuses the
+/// partitioned-aggregation machinery of HashAggExec, so every set's groups,
+/// accumulation order and float results are bit-identical to running that
+/// set's plain GROUP BY — serial or parallel, any thread count.
+MultiAggResult MultiAggExec(const ExecTable& input,
+                            const std::vector<std::vector<sql::ExprPtr>>& sets,
+                            const std::vector<AggSpec>& aggs,
+                            EvalContext& ectx, const OpContext& ctx);
+
 /// Sort by order items (expressions evaluated against `input`). Sort keys
 /// are evaluated morsel-parallel; the comparison sort itself stays serial
 /// (stable_sort, deterministic).

@@ -533,6 +533,16 @@ Factorizer::AbsorptionParts Factorizer::BuildAbsorption(
   return parts;
 }
 
+std::string Factorizer::BatchedHistogramSql(
+    int root, const std::vector<std::string>& attrs, const PredicateSet& preds,
+    const std::string& tag) {
+  AbsorptionParts parts = BuildAbsorption(root, preds, tag);
+  // No q column: the split criterion only needs (c, s) — §5.3.1 — and the
+  // per-feature split SQL computes no q either.
+  return semiring::VarianceSqlGen::HistogramQuery(
+      attrs, parts.from_where, parts.c_expr, parts.s_expr);
+}
+
 semiring::VarianceElem Factorizer::TotalAggregate(int root,
                                                   const PredicateSet& preds,
                                                   const std::string& tag) {

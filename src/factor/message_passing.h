@@ -113,6 +113,21 @@ class Factorizer {
   AbsorptionParts BuildAbsorption(int root, const PredicateSet& preds,
                                   const std::string& tag);
 
+  /// Batched split evaluation: one histogram query per relation per leaf.
+  /// Builds the absorption at `root` (materializing messages — serial, like
+  /// BuildAbsorption) and returns a single GROUPING SETS query whose rows
+  /// with set_id = i form attribute i's (value, c, s) histogram —
+  /// O(#relations) queries per leaf instead of O(#features). Result columns:
+  /// set_id, attrs..., c, s (no q: the criterion needs only c and s). The
+  /// returned SQL is read-only and may be executed concurrently with other
+  /// relations' queries. `tag` labels any message-materialization queries
+  /// issued while building the absorption (callers tag the histogram query
+  /// itself when executing it).
+  std::string BatchedHistogramSql(int root,
+                                  const std::vector<std::string>& attrs,
+                                  const PredicateSet& preds,
+                                  const std::string& tag);
+
   size_t cache_hits() const { return cache_hits_; }
   size_t cache_misses() const { return cache_misses_; }
   size_t messages_materialized() const { return messages_materialized_; }

@@ -130,6 +130,25 @@ std::string OperatorLabel(const LogicalOp& op) {
       os << ")";
       break;
     }
+    case OpKind::kMultiAggregate: {
+      os << "MultiAggregate sets=[";
+      for (size_t s = 0; s < op.stmt->grouping_sets.size(); ++s) {
+        if (s) os << ", ";
+        os << "(";
+        for (size_t i = 0; i < op.stmt->grouping_sets[s].size(); ++i) {
+          if (i) os << ", ";
+          os << sql::ToSql(*op.stmt->grouping_sets[s][i]);
+        }
+        os << ")";
+      }
+      os << "]";
+      os << " (";
+      AppendRows(op, os);
+      AppendCols(op, os);
+      AppendDop(op, os);
+      os << ")";
+      break;
+    }
     case OpKind::kWindow:
       os << "Window (";
       AppendRows(op, os);

@@ -30,6 +30,8 @@ struct PlanStats {
   size_t morsels_dispatched = 0; ///< morsels run by parallel operators
   size_t morsels_stolen = 0;     ///< morsels executed by pool workers rather
                                  ///< than the dispatching thread
+  size_t multi_aggs = 0;         ///< multi-aggregate (GROUPING SETS) operators
+  size_t grouping_sets = 0;      ///< grouping sets evaluated by them
 
   PlanStats& operator+=(const PlanStats& o) {
     queries_planned += o.queries_planned;
@@ -45,6 +47,8 @@ struct PlanStats {
     joins_reordered += o.joins_reordered;
     morsels_dispatched += o.morsels_dispatched;
     morsels_stolen += o.morsels_stolen;
+    multi_aggs += o.multi_aggs;
+    grouping_sets += o.grouping_sets;
     return *this;
   }
   PlanStats operator-(const PlanStats& o) const {
@@ -62,6 +66,8 @@ struct PlanStats {
     d.joins_reordered -= o.joins_reordered;
     d.morsels_dispatched -= o.morsels_dispatched;
     d.morsels_stolen -= o.morsels_stolen;
+    d.multi_aggs -= o.multi_aggs;
+    d.grouping_sets -= o.grouping_sets;
     return d;
   }
 };
@@ -101,6 +107,7 @@ enum class OpKind {
   kFilter,        ///< post-join residual predicate
   kNoFrom,        ///< SELECT <exprs> without FROM (one synthetic row)
   kAggregate,     ///< GROUP BY + aggregate evaluation (incl. HAVING)
+  kMultiAggregate,///< GROUPING SETS: one shared pass, one histogram per set
   kWindow,        ///< window aggregates over the data section
   kProject,       ///< final select-list projection
   kDistinct,      ///< SELECT DISTINCT row dedup

@@ -6,6 +6,7 @@
 
 #include "plan/logical_plan.h"
 #include "sql/expr_util.h"
+#include "sql/printer.h"
 
 namespace joinboost {
 namespace plan {
@@ -302,6 +303,9 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       CollectColumnRefs(jc.condition, &all_refs);
     }
     for (const auto& g : stmt.group_by) CollectColumnRefs(g, &all_refs);
+    for (const auto& gs : stmt.grouping_sets) {
+      for (const auto& g : gs) CollectColumnRefs(g, &all_refs);
+    }
     CollectColumnRefs(stmt.having, &all_refs);
     for (const auto& o : stmt.order_by) CollectColumnRefs(o.expr, &all_refs);
     for (const auto* r : all_refs) {
@@ -448,7 +452,25 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
   int cols = top->est_cols;
   int num_aggs = CountAggregates(stmt);
   int num_wins = CountWindows(stmt);
-  if (!stmt.group_by.empty() || num_aggs > 0) {
+  if (!stmt.grouping_sets.empty()) {
+    // GROUPING SETS: one multi-aggregate operator evaluating every set over
+    // the shared data section in a single pass.
+    std::set<std::string> union_keys;
+    for (const auto& gs : stmt.grouping_sets) {
+      for (const auto& g : gs) union_keys.insert(sql::ToSql(*g));
+    }
+    auto agg = std::make_shared<LogicalOp>();
+    agg->kind = OpKind::kMultiAggregate;
+    agg->stmt = &stmt;
+    agg->est_cols = static_cast<int>(union_keys.size()) + num_aggs;
+    double per_set = est < 0 ? -1 : std::max(1.0, est * 0.1);
+    agg->est_rows =
+        per_set < 0
+            ? -1
+            : per_set * static_cast<double>(stmt.grouping_sets.size());
+    agg->children.push_back(top);
+    top = agg;
+  } else if (!stmt.group_by.empty() || num_aggs > 0) {
     auto agg = std::make_shared<LogicalOp>();
     agg->kind = OpKind::kAggregate;
     agg->stmt = &stmt;
@@ -524,6 +546,7 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       case OpKind::kJoin:
       case OpKind::kFilter:
       case OpKind::kAggregate:
+      case OpKind::kMultiAggregate:
         op.est_dop = op.children.empty()
                          ? 1
                          : parallel.DopForRows(op.children[0]->est_rows);

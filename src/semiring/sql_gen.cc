@@ -83,6 +83,40 @@ std::string VarianceSqlGen::UpdateQ(const std::string& q, const std::string& s,
          SqlDouble(2.0 * p) + " * " + s;
 }
 
+namespace {
+
+/// Shared SELECT … GROUP BY GROUPING SETS scaffolding of the histogram
+/// queries; `sums` holds the pre-rendered "SUM(expr) AS name" items.
+std::string HistogramQueryImpl(const std::vector<std::string>& attrs,
+                               const std::string& from_where,
+                               const std::vector<std::string>& sums) {
+  JB_CHECK_MSG(!attrs.empty(), "histogram query needs at least one attribute");
+  std::ostringstream os;
+  os << "SELECT GROUPING_ID() AS set_id";
+  for (const auto& a : attrs) os << ", " << a;
+  for (const auto& s : sums) os << ", " << s;
+  os << " " << from_where << " GROUP BY GROUPING SETS (";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << attrs[i] << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string VarianceSqlGen::HistogramQuery(const std::vector<std::string>& attrs,
+                                           const std::string& from_where,
+                                           const std::string& c_expr,
+                                           const std::string& s_expr,
+                                           const std::string& q_expr) {
+  std::vector<std::string> sums = {"SUM(" + c_expr + ") AS c",
+                                   "SUM(" + s_expr + ") AS s"};
+  if (!q_expr.empty()) sums.push_back("SUM(" + q_expr + ") AS q");
+  return HistogramQueryImpl(attrs, from_where, sums);
+}
+
 std::string ClassCountSqlGen::MulC(const std::vector<SqlOperand>& ops) {
   return VarianceSqlGen::MulC(ops);
 }
@@ -102,6 +136,16 @@ std::string ClassCountSqlGen::MulClass(const std::vector<SqlOperand>& ops,
     out += term;
   }
   return out.empty() ? "0" : out;
+}
+
+std::string ClassCountSqlGen::HistogramQuery(
+    const std::vector<std::string>& attrs, const std::string& from_where,
+    const std::string& c_expr, const std::vector<std::string>& cls_exprs) {
+  std::vector<std::string> sums = {"SUM(" + c_expr + ") AS c"};
+  for (size_t k = 0; k < cls_exprs.size(); ++k) {
+    sums.push_back("SUM(" + cls_exprs[k] + ") AS cls" + std::to_string(k));
+  }
+  return HistogramQueryImpl(attrs, from_where, sums);
 }
 
 std::string SqlDouble(double v) {

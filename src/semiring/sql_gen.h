@@ -47,6 +47,19 @@ class VarianceSqlGen {
                              double p);
   static std::string UpdateQ(const std::string& q, const std::string& s,
                              const std::string& c, double p);
+
+  /// Batched histogram query (split evaluation, one query per relation):
+  ///   SELECT GROUPING_ID() AS set_id, a1, …, ak,
+  ///          SUM(c_expr) AS c, SUM(s_expr) AS s[, SUM(q_expr) AS q]
+  ///   FROM … GROUP BY GROUPING SETS ((a1), …, (ak))
+  /// One scan of the shared absorption join yields every attribute's
+  /// (value, c, s) histogram; rows with set_id = i belong to attribute i and
+  /// NULL-extend the other key columns. Pass an empty q_expr to skip q.
+  static std::string HistogramQuery(const std::vector<std::string>& attrs,
+                                    const std::string& from_where,
+                                    const std::string& c_expr,
+                                    const std::string& s_expr,
+                                    const std::string& q_expr = "");
 };
 
 /// Class-count semi-ring products: per-class components behave like `s`.
@@ -56,6 +69,13 @@ class ClassCountSqlGen {
   /// Product expression for class k's count column (named `<cls_prefix>k`).
   static std::string MulClass(const std::vector<SqlOperand>& ops,
                               const std::string& cls_prefix, size_t k);
+
+  /// Class-count analogue of VarianceSqlGen::HistogramQuery: per-class sums
+  /// (columns cls0..clsK-1) instead of the (c, s) pair.
+  static std::string HistogramQuery(const std::vector<std::string>& attrs,
+                                    const std::string& from_where,
+                                    const std::string& c_expr,
+                                    const std::vector<std::string>& cls_exprs);
 };
 
 /// Format a double literal for SQL (always re-parses as FLOAT).

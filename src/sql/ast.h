@@ -165,6 +165,12 @@ struct SelectStmt {
   std::vector<JoinClause> joins;
   ExprPtr where;
   std::vector<ExprPtr> group_by;
+  /// GROUP BY GROUPING SETS ((e1), (e2, e3), ...): each inner vector is one
+  /// grouping set (possibly empty — the grand total). Mutually exclusive with
+  /// `group_by`; non-empty means the multi-aggregate path. Rows of set i are
+  /// identified by the GROUPING_ID() pseudo-function (returns i); key columns
+  /// absent from a row's set are NULL, as in standard SQL.
+  std::vector<std::vector<ExprPtr>> grouping_sets;
   ExprPtr having;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  ///< -1 = no limit

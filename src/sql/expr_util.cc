@@ -40,6 +40,19 @@ void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out) {
   if (e) CollectColumnRefs(*e, out);
 }
 
+void CollectFuncCalls(const ExprPtr& e, const std::string& name,
+                      std::vector<const Expr*>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kFuncCall && e->op == name) out->push_back(e.get());
+  if (e->kind == ExprKind::kInSubquery) {
+    for (const auto& a : e->args) CollectFuncCalls(a, name, out);
+    return;  // subquery body resolves independently
+  }
+  for (const auto& a : e->args) CollectFuncCalls(a, name, out);
+  for (const auto& a : e->partition_by) CollectFuncCalls(a, name, out);
+  for (const auto& a : e->order_by) CollectFuncCalls(a, name, out);
+}
+
 std::string OutputName(const Expr& item, size_t index) {
   if (!item.alias.empty()) return item.alias;
   if (item.kind == ExprKind::kColumnRef) return item.column;

@@ -19,6 +19,12 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& cs);
 void CollectColumnRefs(const ExprPtr& e, std::vector<const Expr*>* out);
 void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out);
 
+/// Collect scalar function-call nodes with the given (uppercase) name,
+/// skipping subquery interiors. Used for pseudo-functions whose value the
+/// enclosing operator supplies via overrides (e.g. GROUPING_ID()).
+void CollectFuncCalls(const ExprPtr& e, const std::string& name,
+                      std::vector<const Expr*>* out);
+
 /// Output column name of a select-list item: alias, else the column name of
 /// a plain reference, else "colN". Shared by execution and planning so the
 /// planner's view of derived-table schemas matches what the engine produces.

@@ -35,7 +35,7 @@ const std::unordered_set<std::string>& Keywords() {
       "CASE",   "WHEN",   "THEN",   "ELSE",   "END",    "CREATE", "TABLE",
       "UPDATE", "SET",    "DROP",   "IF",     "EXISTS", "DESC",   "ASC",
       "OVER",   "PARTITION", "HAVING", "DISTINCT", "REPLACE", "BETWEEN",
-      "EXPLAIN",
+      "EXPLAIN", "GROUPING", "SETS",
   };
   return kw;
 }
@@ -303,9 +303,26 @@ class Parser {
     if (AcceptKeyword("WHERE")) stmt->where = ParseExpr();
     if (AcceptKeyword("GROUP")) {
       ExpectKeyword("BY");
-      do {
-        stmt->group_by.push_back(ParseExpr());
-      } while (AcceptSymbol(","));
+      if (AcceptKeyword("GROUPING")) {
+        ExpectKeyword("SETS");
+        ExpectSymbol("(");
+        do {
+          ExpectSymbol("(");
+          std::vector<ExprPtr> set;
+          if (!PeekSymbol(")")) {
+            do {
+              set.push_back(ParseExpr());
+            } while (AcceptSymbol(","));
+          }
+          ExpectSymbol(")");
+          stmt->grouping_sets.push_back(std::move(set));
+        } while (AcceptSymbol(","));
+        ExpectSymbol(")");
+      } else {
+        do {
+          stmt->group_by.push_back(ParseExpr());
+        } while (AcceptSymbol(","));
+      }
     }
     if (AcceptKeyword("HAVING")) stmt->having = ParseExpr();
     if (AcceptKeyword("ORDER")) {

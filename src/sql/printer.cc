@@ -180,6 +180,15 @@ void PrintSelect(const SelectStmt& s, std::ostream& os) {
   if (!s.group_by.empty()) {
     os << " GROUP BY ";
     PrintExprList(s.group_by, os);
+  } else if (!s.grouping_sets.empty()) {
+    os << " GROUP BY GROUPING SETS (";
+    for (size_t i = 0; i < s.grouping_sets.size(); ++i) {
+      if (i) os << ", ";
+      os << "(";
+      PrintExprList(s.grouping_sets[i], os);
+      os << ")";
+    }
+    os << ")";
   }
   if (s.having) {
     os << " HAVING ";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "baselines/dense_dataset.h"
 #include "baselines/histogram_gbdt.h"
 #include "data/generators.h"
@@ -110,7 +112,9 @@ TEST(FavoritaIntegrationTest, CompositeKeyTransactionsSelectorWorks) {
 TEST(FavoritaIntegrationTest, Figure9QueryMix) {
   // The paper counts 270 feature-split queries (15 nodes x 18 features) and
   // 75 message queries for one 8-leaf tree on Favorita. Our schema has 12
-  // features: expect 15 x 12 split queries on the first tree.
+  // features: expect 15 x 12 split queries on the first tree with the
+  // per-feature path, and 15 x (#relations carrying features) with batched
+  // split evaluation (PR 4).
   exec::Database db(EngineProfile::DSwap());
   Dataset ds = data::MakeFavorita(&db, TinyFavorita());
 
@@ -118,12 +122,24 @@ TEST(FavoritaIntegrationTest, Figure9QueryMix) {
   params.boosting = "gbdt";
   params.num_iterations = 1;
   params.num_leaves = 8;
+  params.batch_split_evaluation = false;
   TrainResult res = Train(params, ds);
 
   size_t features = ds.graph().AllFeatures().size();
   EXPECT_EQ(res.feature_queries, 15 * features);
   EXPECT_GT(res.message_queries, 0u);
   EXPECT_GT(res.cache_hits, 0u);
+
+  std::set<int> feature_rels;
+  for (const auto& f : ds.graph().AllFeatures()) {
+    feature_rels.insert(ds.graph().RelationOfFeature(f));
+  }
+  exec::Database bdb(EngineProfile::DSwap());
+  Dataset bds = data::MakeFavorita(&bdb, TinyFavorita());
+  params.batch_split_evaluation = true;
+  TrainResult bres = Train(params, bds);
+  EXPECT_EQ(bres.feature_queries, 15 * feature_rels.size());
+  EXPECT_LT(bres.feature_queries, res.feature_queries);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Mechanical format gate over src/, tests/, bench/ and examples/.
+
+Checks the objective, editor-independent invariants of the project style
+(Google C++, see .clang-format): no tabs, no trailing whitespace, no CRLF
+line endings, files end with exactly one newline, and headers start their
+include guard with #pragma once. Full clang-format compliance is checked by
+the CI format job on top of this gate (see .github/workflows/ci.yml).
+
+Usage: check_format.py [--fix] [FILE ...]
+With no FILE arguments, checks every tracked *.cc / *.h under the gated
+directories. --fix rewrites fixable violations (whitespace only) in place.
+Exit status: 0 when clean, 1 otherwise.
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+
+GATED_DIRS = ("src/", "tests/", "bench/", "examples/")
+
+
+def tracked_files():
+    root = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"], capture_output=True,
+        text=True, check=True).stdout.strip()
+    os.chdir(root)
+    out = subprocess.run(
+        ["git", "ls-files", "*.cc", "*.h"], capture_output=True, text=True,
+        check=True).stdout
+    return [f for f in out.splitlines() if f.startswith(GATED_DIRS)]
+
+
+def check_file(path, fix):
+    problems = []
+    raw = pathlib.Path(path).read_bytes()
+    if b"\r" in raw:
+        problems.append("CRLF line ending")
+    text = raw.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    for i, line in enumerate(lines, 1):
+        if "\t" in line:
+            problems.append(f"line {i}: tab character")
+        if line != line.rstrip():
+            problems.append(f"line {i}: trailing whitespace")
+    if text and not text.endswith("\n"):
+        problems.append("missing final newline")
+    if text.endswith("\n\n"):
+        problems.append("multiple trailing newlines")
+    if path.endswith(".h"):
+        head = [l for l in lines[:10] if l.strip()]
+        if head and not any(l.startswith("#pragma once") for l in lines[:10]):
+            problems.append("header lacks #pragma once in the first 10 lines")
+    if problems and fix:
+        fixed = "\n".join(l.rstrip() for l in text.replace("\r\n", "\n")
+                          .replace("\r", "\n").split("\n"))
+        fixed = fixed.rstrip("\n") + "\n" if fixed.strip() else fixed
+        pathlib.Path(path).write_text(fixed)
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*")
+    parser.add_argument("--fix", action="store_true")
+    args = parser.parse_args()
+
+    files = args.files or tracked_files()
+    failed = False
+    for path in files:
+        problems = check_file(path, args.fix)
+        for p in problems:
+            print(f"{path}: {p}")
+            failed = True
+    if failed and args.fix:
+        print("-- whitespace violations rewritten in place; re-run to verify")
+    elif not failed:
+        print(f"ok: {len(files)} files clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

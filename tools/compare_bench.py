@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare deterministic counters in a bench JSON
+against a committed baseline and fail when any counter regresses beyond the
+allowed fraction.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json PATH [PATH ...]
+                     [--max-regress 0.10]
+
+PATH is a dotted path into the JSON (e.g. "planner_on.feature_queries").
+A trailing ".*" expands to every numeric key of the baseline object at that
+path (e.g. "counters.*"). Counters are higher-is-worse: a regression is
+current > baseline * (1 + max_regress). Improvements beyond the same margin
+are reported as a hint to refresh the baseline, but do not fail.
+
+Exit status: 0 when every counter is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def resolve(doc, path):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def expand(baseline, paths):
+    out = []
+    for path in paths:
+        if path.endswith(".*"):
+            prefix = path[:-2]
+            node = resolve(baseline, prefix) if prefix else baseline
+            if not isinstance(node, dict):
+                print(f"FAIL {path}: baseline has no object at '{prefix}'")
+                return None
+            for key, value in node.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out.append(f"{prefix}.{key}" if prefix else key)
+        else:
+            out.append(path)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--max-regress", type=float, default=0.10)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    paths = expand(baseline, args.paths)
+    if paths is None:
+        return 1
+
+    failed = False
+    for path in paths:
+        base = resolve(baseline, path)
+        cur = resolve(current, path)
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            print(f"FAIL {path}: missing or non-numeric in baseline")
+            failed = True
+            continue
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            print(f"FAIL {path}: missing or non-numeric in current output")
+            failed = True
+            continue
+        limit = base * (1.0 + args.max_regress)
+        if cur > limit:
+            print(f"FAIL {path}: {cur} > {base} (+{args.max_regress:.0%} allowed)")
+            failed = True
+        elif base > 0 and cur < base * (1.0 - args.max_regress):
+            print(f"NOTE {path}: improved {base} -> {cur}; consider refreshing "
+                  f"the baseline")
+        else:
+            print(f"ok   {path}: {cur} (baseline {base})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
