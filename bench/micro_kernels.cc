@@ -1,14 +1,20 @@
 // google-benchmark micro suite: semi-ring operations, engine kernels
-// (hash join, hash aggregate, compression) and the residual-update
-// strategies in isolation.
+// (hash join, hash aggregate, compression), the residual-update strategies,
+// and the PR 5 hash-infrastructure kernels (flat bucket-chained tables vs
+// the replaced std::unordered_map layout) in isolation.
 #include <benchmark/benchmark.h>
+
+#include <unordered_map>
 
 #include "core/boosting.h"
 #include "core/session.h"
 #include "data/generators.h"
+#include "exec/hash_table.h"
+#include "exec/morsel.h"
 #include "joinboost.h"
 #include "semiring/semiring.h"
 #include "storage/compression.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace jb = joinboost;
@@ -69,6 +75,147 @@ static void BM_HashJoinAggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_HashJoinAggregate)->Arg(1 << 16)->Arg(1 << 18);
+
+// ---- PR 5: hash-infrastructure kernels, old map layout vs flat table ----
+
+namespace {
+
+/// Deterministic key hashes: `n` rows over `keys` distinct keys, mixed with
+/// the engine's key-hash seed so chains match production distributions.
+std::vector<uint64_t> KeyHashes(size_t n, int64_t keys, uint64_t seed) {
+  jb::Rng rng(seed);
+  std::vector<uint64_t> h(n);
+  for (auto& x : h) {
+    x = jb::HashCombine(
+        jb::exec::morsel::kKeyHashSeed,
+        static_cast<uint64_t>(rng.NextInt(0, keys - 1)));
+  }
+  return h;
+}
+
+}  // namespace
+
+static void BM_JoinBuildOldMap(benchmark::State& state) {
+  std::vector<uint64_t> h =
+      KeyHashes(static_cast<size_t>(state.range(0)), 2000, 5);
+  for (auto _ : state) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    buckets.reserve(h.size() * 2);
+    for (size_t r = 0; r < h.size(); ++r) {
+      buckets[h[r]].push_back(static_cast<uint32_t>(r));
+    }
+    benchmark::DoNotOptimize(buckets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinBuildOldMap)->Arg(1 << 16)->Arg(1 << 18);
+
+static void BM_JoinBuildFlat(benchmark::State& state) {
+  std::vector<uint64_t> h =
+      KeyHashes(static_cast<size_t>(state.range(0)), 2000, 5);
+  for (auto _ : state) {
+    jb::exec::hash::JoinHashTable table;
+    table.Build(h.data(), h.size());
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinBuildFlat)->Arg(1 << 16)->Arg(1 << 18);
+
+// Probe benchmarks visit every chained match (like the real probe, which
+// runs RowsEqual per chain element). Args: {probe_rows, distinct_keys} —
+// the second pair is dup-heavy (long chains), where the old layout's
+// contiguous per-key vectors probe fastest; the flat table wins everywhere
+// the build or group side participates.
+static void BM_JoinProbeOldMap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int64_t keys = state.range(1);
+  std::vector<uint64_t> build = KeyHashes(n / 4, keys, 5);
+  std::vector<uint64_t> probe = KeyHashes(n, keys + keys / 4, 6);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  for (size_t r = 0; r < build.size(); ++r) {
+    buckets[build[r]].push_back(static_cast<uint32_t>(r));
+  }
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (uint64_t h : probe) {
+      auto it = buckets.find(h);
+      if (it == buckets.end()) continue;
+      for (uint32_t r : it->second) matches += r;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinProbeOldMap)
+    ->Args({1 << 18, 1 << 16})
+    ->Args({1 << 18, 1 << 11});
+
+static void BM_JoinProbeFlat(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int64_t keys = state.range(1);
+  std::vector<uint64_t> build = KeyHashes(n / 4, keys, 5);
+  std::vector<uint64_t> probe = KeyHashes(n, keys + keys / 4, 6);
+  jb::exec::hash::JoinHashTable table;
+  table.Build(build.data(), build.size());
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (uint64_t h : probe) {
+      for (uint32_t r = table.Probe(h); r != jb::exec::hash::kInvalidIndex;
+           r = table.Next(r)) {
+        matches += r;
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinProbeFlat)
+    ->Args({1 << 18, 1 << 16})
+    ->Args({1 << 18, 1 << 11});
+
+static void BM_GroupOldMap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> h = KeyHashes(n, 50000, 7);
+  for (auto _ : state) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    std::vector<uint32_t> reps;
+    for (size_t r = 0; r < n; ++r) {
+      auto& bucket = buckets[h[r]];
+      uint32_t gid = UINT32_MAX;
+      for (uint32_t g : bucket) {
+        if (h[reps[g]] == h[r]) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        reps.push_back(static_cast<uint32_t>(r));
+        bucket.push_back(static_cast<uint32_t>(reps.size() - 1));
+      }
+    }
+    benchmark::DoNotOptimize(reps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupOldMap)->Arg(1 << 18);
+
+static void BM_GroupFlat(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> h = KeyHashes(n, 50000, 7);
+  for (auto _ : state) {
+    jb::exec::hash::GroupHashTable table(n);
+    std::vector<uint32_t> reps;
+    for (size_t r = 0; r < n; ++r) {
+      uint32_t gid = table.FindOrAdd(
+          h[r], [&](uint32_t g) { return h[reps[g]] == h[r]; });
+      if (gid == reps.size()) reps.push_back(static_cast<uint32_t>(r));
+    }
+    benchmark::DoNotOptimize(reps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupFlat)->Arg(1 << 18);
 
 static void BM_ResidualUpdateStrategy(benchmark::State& state) {
   const char* strategies[] = {"swap", "create", "update", "naive_u"};

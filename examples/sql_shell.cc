@@ -22,7 +22,8 @@ int main() {
                    .Build());
 
   std::printf("joinboost sql shell — tables: r(a,b), s(a,c). "
-              "\\dt lists tables, \\q quits.\n"
+              "\\dt lists tables, \\stats dumps execution counters, "
+              "\\q quits.\n"
               "EXPLAIN SELECT ... prints the logical plan "
               "(pushdown, pruning, join order).\n");
   std::string line;
@@ -35,6 +36,10 @@ int main() {
         std::printf("  %s %s (%zu rows)\n", name.c_str(),
                     t->schema().ToString().c_str(), t->num_rows());
       }
+      continue;
+    }
+    if (line == "\\stats") {
+      std::printf("%s", plan::FormatStats(db.PlanStatsTotals()).c_str());
       continue;
     }
     try {

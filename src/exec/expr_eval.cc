@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstring>
-#include <unordered_set>
 
 #include "util/hash.h"
 
@@ -281,33 +280,49 @@ VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
       return VectorData::FromInts(std::move(out));
     }
     case sql::ExprKind::kInSubquery: {
-      JB_CHECK_MSG(ctx.run_subquery, "no subquery runner in context");
-      ExecTable sub = ctx.run_subquery(*e.subquery);
       if (e.args.empty()) {
-        // Scalar subquery: broadcast the single value.
-        JB_CHECK_MSG(sub.rows == 1 && sub.cols.size() == 1,
-                     "scalar subquery must return 1x1");
-        const VectorData& v = sub.cols[0].data;
+        // Scalar subquery: run once per context, broadcast the value.
+        auto it = ctx.scalar_subqueries.find(&e);
+        if (it == ctx.scalar_subqueries.end()) {
+          JB_CHECK_MSG(ctx.run_subquery, "no subquery runner in context");
+          ExecTable sub = ctx.run_subquery(*e.subquery);
+          JB_CHECK_MSG(sub.rows == 1 && sub.cols.size() == 1,
+                       "scalar subquery must return 1x1");
+          it = ctx.scalar_subqueries.emplace(&e, sub.cols[0].data).first;
+        }
+        const VectorData& v = it->second;
         if (v.type == TypeId::kFloat64) {
           return VectorData::FromDoubles(
               std::vector<double>(rows, (*v.dbls)[0]));
         }
         return VectorData::FromInts(std::vector<int64_t>(rows, (*v.ints)[0]));
       }
-      JB_CHECK_MSG(sub.cols.size() == 1, "IN subquery must return 1 column");
-      VectorData probe = EvalExpr(*e.args[0], input, ctx);
-      const VectorData& list = sub.cols[0].data;
-      std::unordered_set<int64_t> set;
-      if (list.type == TypeId::kFloat64) {
-        for (double d : list.Dbls()) {
-          int64_t bits;
-          static_assert(sizeof(double) == sizeof(int64_t));
-          std::memcpy(&bits, &d, 8);
-          set.insert(bits);
-        }
+      // IN (subquery): the membership set — and the subquery run feeding it
+      // — is built once per context and cached on the predicate node.
+      std::shared_ptr<const hash::ValueSet> set;
+      auto cached = ctx.in_sets.find(&e);
+      if (cached != ctx.in_sets.end()) {
+        set = cached->second;
       } else {
-        for (int64_t x : list.Ints()) set.insert(x);
+        JB_CHECK_MSG(ctx.run_subquery, "no subquery runner in context");
+        ExecTable sub = ctx.run_subquery(*e.subquery);
+        JB_CHECK_MSG(sub.cols.size() == 1, "IN subquery must return 1 column");
+        const VectorData& list = sub.cols[0].data;
+        auto s = std::make_shared<hash::ValueSet>(sub.rows);
+        if (list.type == TypeId::kFloat64) {
+          for (double d : list.Dbls()) {
+            int64_t bits;
+            static_assert(sizeof(double) == sizeof(int64_t));
+            std::memcpy(&bits, &d, 8);
+            s->Insert(static_cast<uint64_t>(bits));
+          }
+        } else {
+          for (int64_t x : list.Ints()) s->Insert(static_cast<uint64_t>(x));
+        }
+        set = s;
+        ctx.in_sets.emplace(&e, set);
       }
+      VectorData probe = EvalExpr(*e.args[0], input, ctx);
       std::vector<int64_t> out(rows);
       for (size_t i = 0; i < rows; ++i) {
         bool found;
@@ -315,10 +330,10 @@ VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
           double d = (*probe.dbls)[i];
           int64_t bits;
           std::memcpy(&bits, &d, 8);
-          found = set.count(bits) > 0;
+          found = set->Contains(static_cast<uint64_t>(bits));
         } else {
           int64_t x = (*probe.ints)[i];
-          found = x != kNullInt64 && set.count(x) > 0;
+          found = x != kNullInt64 && set->Contains(static_cast<uint64_t>(x));
         }
         out[i] = (found != e.negated) ? 1 : 0;
       }
@@ -326,25 +341,38 @@ VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
     }
     case sql::ExprKind::kInList: {
       VectorData probe = EvalExpr(*e.args[0], input, ctx);
-      std::unordered_set<int64_t> set;
       bool as_double = probe.type == TypeId::kFloat64;
-      for (size_t a = 1; a < e.args.size(); ++a) {
-        const sql::Expr& lit = *e.args[a];
-        if (probe.type == TypeId::kString && probe.dict &&
-            lit.kind == sql::ExprKind::kStringLiteral) {
-          set.insert(probe.dict->Find(lit.str_val));
-        } else if (as_double) {
-          double d = lit.kind == sql::ExprKind::kFloatLiteral
-                         ? lit.float_val
-                         : static_cast<double>(lit.int_val);
-          int64_t bits;
-          std::memcpy(&bits, &d, 8);
-          set.insert(bits);
-        } else {
-          set.insert(lit.kind == sql::ExprKind::kFloatLiteral
-                         ? static_cast<int64_t>(lit.float_val)
-                         : lit.int_val);
+      // String probes translate literals through the probe's dictionary,
+      // which can differ between evaluations of the same node — only
+      // dictionary-free probes are safe to cache per context.
+      const bool cacheable = !(probe.type == TypeId::kString && probe.dict);
+      std::shared_ptr<const hash::ValueSet> set;
+      auto cached = cacheable ? ctx.in_sets.find(&e) : ctx.in_sets.end();
+      if (cacheable && cached != ctx.in_sets.end()) {
+        set = cached->second;
+      } else {
+        auto s = std::make_shared<hash::ValueSet>(e.args.size() - 1);
+        for (size_t a = 1; a < e.args.size(); ++a) {
+          const sql::Expr& lit = *e.args[a];
+          if (probe.type == TypeId::kString && probe.dict &&
+              lit.kind == sql::ExprKind::kStringLiteral) {
+            s->Insert(static_cast<uint64_t>(probe.dict->Find(lit.str_val)));
+          } else if (as_double) {
+            double d = lit.kind == sql::ExprKind::kFloatLiteral
+                           ? lit.float_val
+                           : static_cast<double>(lit.int_val);
+            int64_t bits;
+            std::memcpy(&bits, &d, 8);
+            s->Insert(static_cast<uint64_t>(bits));
+          } else {
+            s->Insert(static_cast<uint64_t>(
+                lit.kind == sql::ExprKind::kFloatLiteral
+                    ? static_cast<int64_t>(lit.float_val)
+                    : lit.int_val));
+          }
         }
+        set = s;
+        if (cacheable) ctx.in_sets.emplace(&e, set);
       }
       std::vector<int64_t> out(rows);
       for (size_t i = 0; i < rows; ++i) {
@@ -353,10 +381,10 @@ VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
           double d = (*probe.dbls)[i];
           int64_t bits;
           std::memcpy(&bits, &d, 8);
-          found = set.count(bits) > 0;
+          found = set->Contains(static_cast<uint64_t>(bits));
         } else {
           int64_t x = (*probe.ints)[i];
-          found = x != kNullInt64 && set.count(x) > 0;
+          found = x != kNullInt64 && set->Contains(static_cast<uint64_t>(x));
         }
         out[i] = (found != e.negated) ? 1 : 0;
       }

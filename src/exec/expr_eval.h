@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
+#include "exec/hash_table.h"
 #include "exec/vector.h"
 #include "sql/ast.h"
 
@@ -17,6 +19,20 @@ struct EvalContext {
   /// Per-node result overrides: aggregate and window nodes are pre-computed
   /// by the operators and substituted here during final projection.
   std::unordered_map<const sql::Expr*, VectorData> overrides;
+
+  /// Membership sets of IN (...) / IN (subquery) predicates, built once per
+  /// context per predicate node and reused across evaluations. Without the
+  /// cache, every evaluation rebuilt the set — and row-mode scalar
+  /// evaluation re-enters the vectorized path per row, so an IN predicate
+  /// rebuilt its set (and re-ran its subquery) once per input row.
+  std::unordered_map<const sql::Expr*, std::shared_ptr<const hash::ValueSet>>
+      in_sets;
+
+  /// Scalar subquery results (their 1x1 value vector), cached per context
+  /// per node for the same reason: table data is immutable within one
+  /// statement, and row-mode evaluation would re-run the subquery once per
+  /// input row otherwise.
+  std::unordered_map<const sql::Expr*, VectorData> scalar_subqueries;
 };
 
 /// Vectorized evaluation of `e` over `input` (result has input.rows rows;

@@ -1,0 +1,47 @@
+#include "exec/hash_table.h"
+
+namespace joinboost {
+namespace exec {
+namespace hash {
+
+void FlatHashTable::Init(size_t expected) {
+  capacity_ = SlotCountFor(expected);
+  mask_ = capacity_ - 1;
+  tags_.assign(capacity_, kEmptyTag);
+  hashes_.resize(capacity_);
+  heads_.resize(capacity_);
+  tails_.resize(capacity_);
+  used_ = 0;
+}
+
+void FlatHashTable::Grow() {
+  // Chains live outside the table, so growth is a pure re-placement of the
+  // occupied slots into a doubled directory.
+  std::vector<uint8_t> old_tags = std::move(tags_);
+  std::vector<uint64_t> old_hashes = std::move(hashes_);
+  std::vector<uint32_t> old_heads = std::move(heads_);
+  std::vector<uint32_t> old_tails = std::move(tails_);
+  const size_t old_capacity = capacity_;
+
+  capacity_ *= 2;
+  mask_ = capacity_ - 1;
+  tags_.assign(capacity_, kEmptyTag);
+  hashes_.resize(capacity_);
+  heads_.resize(capacity_);
+  tails_.resize(capacity_);
+
+  for (size_t s = 0; s < old_capacity; ++s) {
+    if (old_tags[s] == kEmptyTag) continue;
+    uint64_t h = old_hashes[s];
+    size_t i = Index(h);
+    while (tags_[i] != kEmptyTag) i = (i + 1) & mask_;
+    tags_[i] = old_tags[s];
+    hashes_[i] = h;
+    heads_[i] = old_heads[s];
+    tails_[i] = old_tails[s];
+  }
+}
+
+}  // namespace hash
+}  // namespace exec
+}  // namespace joinboost

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 
 #include "sql/expr_util.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace joinboost {
 namespace exec {
@@ -290,13 +292,68 @@ ExecTable ParallelGatherRows(const ExecTable& input,
   return out;
 }
 
-PartitionedRows PartitionByHash(
-    const OpContext& ctx, size_t n, size_t parts,
-    const std::function<uint64_t(size_t)>& hash_fn) {
+namespace {
+
+/// Mix one key column into the shared hash buffer over [begin, end). The
+/// per-cell math matches the row-mode hasher exactly:
+/// h = HashCombine(h, cell_bits) — HashCombine SplitMix64-mixes its value
+/// argument internally, so no extra finalizer pass is needed per cell.
+void MixColumnHash(const VectorData& v, size_t begin, size_t end,
+                   uint64_t* out) {
+  if (v.type == TypeId::kFloat64) {
+    const double* src = v.dbls->data();
+    for (size_t r = begin; r < end; ++r) {
+      int64_t bits;
+      std::memcpy(&bits, &src[r], 8);
+      out[r] = HashCombine(out[r], static_cast<uint64_t>(bits));
+    }
+  } else {
+    const int64_t* src = v.ints->data();
+    for (size_t r = begin; r < end; ++r) {
+      out[r] = HashCombine(out[r], static_cast<uint64_t>(src[r]));
+    }
+  }
+}
+
+/// Row-mode hashing goes through Value materialization — the per-tuple
+/// overhead that makes row engines slower on analytics. Produces the same
+/// hash values as the columnar path.
+uint64_t HashRowSlow(const std::vector<const VectorData*>& cols, size_t row) {
+  uint64_t h = kKeyHashSeed;
+  for (const auto* c : cols) {
+    Value v = c->GetValue(row);
+    uint64_t cell = v.type == TypeId::kFloat64
+                        ? [&] {
+                            int64_t bits;
+                            std::memcpy(&bits, &v.d, 8);
+                            return static_cast<uint64_t>(bits);
+                          }()
+                        : static_cast<uint64_t>(v.i);
+    h = HashCombine(h, cell);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint64_t> HashKeys(const std::vector<const VectorData*>& keys,
+                               size_t rows, const OpContext& ctx) {
+  std::vector<uint64_t> out(rows, kKeyHashSeed);
+  if (ctx.row_mode) {
+    for (size_t r = 0; r < rows; ++r) out[r] = HashRowSlow(keys, r);
+    return out;
+  }
+  ForEachMorsel(ctx, rows, [&](size_t, size_t begin, size_t end) {
+    for (const auto* k : keys) MixColumnHash(*k, begin, end, out.data());
+  });
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> PartitionRowsByHash(
+    const OpContext& ctx, const std::vector<uint64_t>& hashes, size_t parts) {
   JB_CHECK(parts > 0);
-  PartitionedRows out;
-  out.hashes.resize(n);
-  out.rows.resize(parts);
+  const size_t n = hashes.size();
+  std::vector<std::vector<uint32_t>> out(parts);
   // Morsel-local scatter into (morsel, partition) buffers, then each
   // partition concatenates its buffers in morsel-index order — ascending
   // row order within every partition, the invariant the determinism
@@ -307,13 +364,11 @@ PartitionedRows PartitionByHash(
   ForEachMorsel(ctx, n, [&](size_t m, size_t begin, size_t end) {
     auto& local = scatter[m];
     for (size_t r = begin; r < end; ++r) {
-      uint64_t h = hash_fn(r);
-      out.hashes[r] = h;
-      local[h % parts].push_back(static_cast<uint32_t>(r));
+      local[hashes[r] % parts].push_back(static_cast<uint32_t>(r));
     }
   });
   auto concat = [&](size_t p) {
-    std::vector<uint32_t>& rows = out.rows[p];
+    std::vector<uint32_t>& rows = out[p];
     size_t total = 0;
     for (size_t m = 0; m < M; ++m) total += scatter[m][p].size();
     rows.reserve(total);

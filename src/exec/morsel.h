@@ -81,21 +81,32 @@ ExecTable ParallelGatherRows(const ExecTable& input,
                              const std::vector<uint32_t>& idx,
                              const OpContext& ctx);
 
-/// Hash-partitioned row sets for thread-local join builds / aggregation.
-struct PartitionedRows {
-  std::vector<uint64_t> hashes;             ///< hash_fn(r) per input row
-  std::vector<std::vector<uint32_t>> rows;  ///< per partition, ascending rows
-};
+/// Seed for composite-key hashing. The columnar and row-mode key hashers
+/// share it (and the per-cell mixing math), so both produce identical
+/// 64-bit hashes — partition ownership and table layout cannot diverge
+/// between the vectorized and tuple-at-a-time engines.
+constexpr uint64_t kKeyHashSeed = 0xABCDEF0123456789ULL;
 
-/// Partition rows [0, n) so partition p owns every row whose hash satisfies
-/// h % parts == p, with each partition's row list in ascending order. This
-/// is the determinism backbone of the parallel join build and aggregation:
-/// a key's rows all land in one partition and keep their serial scan order,
-/// so bucket lists and per-group accumulation sequences are identical to
-/// single-threaded execution for any partition count. Hash + scatter run
-/// morsel-parallel (O(n) total work regardless of `parts`).
-PartitionedRows PartitionByHash(const OpContext& ctx, size_t n, size_t parts,
-                                const std::function<uint64_t(size_t)>& hash_fn);
+/// Column-at-a-time key hashing: every key column is mixed into a shared
+/// per-row uint64 buffer one column at a time, with the column's type
+/// dispatched once per (column, morsel) instead of once per cell. Runs
+/// morsel-parallel when the context allows (pure per-row function, so
+/// bit-identical for any thread count). Row-mode contexts fall back to
+/// per-tuple Value-materializing hashing — the genuine cost structure of a
+/// row engine — which computes the same hash values.
+std::vector<uint64_t> HashKeys(const std::vector<const VectorData*>& keys,
+                               size_t rows, const OpContext& ctx);
+
+/// Partition rows [0, n) by precomputed hash so partition p owns every row
+/// whose hash satisfies h % parts == p, with each partition's row list in
+/// ascending order. This is the determinism backbone of the parallel join
+/// build and aggregation: a key's rows all land in one partition and keep
+/// their serial scan order, so bucket chains and per-group accumulation
+/// sequences are identical to single-threaded execution for any partition
+/// count. The scatter runs morsel-parallel (O(n) total work regardless of
+/// `parts`).
+std::vector<std::vector<uint32_t>> PartitionRowsByHash(
+    const OpContext& ctx, const std::vector<uint64_t>& hashes, size_t parts);
 
 }  // namespace morsel
 }  // namespace exec

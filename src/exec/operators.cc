@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
-#include <unordered_map>
 
+#include "exec/hash_table.h"
 #include "exec/morsel.h"
 #include "sql/printer.h"
 #include "util/hash.h"
@@ -14,38 +14,13 @@ namespace exec {
 
 namespace {
 
-uint64_t HashCell(const VectorData& v, size_t row) {
-  if (v.type == TypeId::kFloat64) {
-    double d = (*v.dbls)[row];
-    int64_t bits;
-    std::memcpy(&bits, &d, 8);
-    return SplitMix64(static_cast<uint64_t>(bits));
-  }
-  return SplitMix64(static_cast<uint64_t>((*v.ints)[row]));
-}
-
-uint64_t HashRow(const std::vector<const VectorData*>& cols, size_t row) {
-  uint64_t h = 0xABCDEF0123456789ULL;
-  for (const auto* c : cols) h = HashCombine(h, HashCell(*c, row));
-  return h;
-}
-
-/// Row-mode hashing goes through Value materialization — the per-tuple
-/// overhead that makes row engines slower on analytics.
-uint64_t HashRowSlow(const std::vector<const VectorData*>& cols, size_t row) {
-  uint64_t h = 0xABCDEF0123456789ULL;
-  for (const auto* c : cols) {
-    Value v = c->GetValue(row);
-    uint64_t cell = v.type == TypeId::kFloat64
-                        ? [&] {
-                            int64_t bits;
-                            std::memcpy(&bits, &v.d, 8);
-                            return static_cast<uint64_t>(bits);
-                          }()
-                        : static_cast<uint64_t>(v.i);
-    h = HashCombine(h, SplitMix64(cell));
-  }
-  return h;
+/// Canonical hash-memory accounting for PlanStats: the footprint of a
+/// single-table build over `rows` chained rows with `keys` distinct-hash
+/// upper bound. Deliberately partition-count independent (the parallel
+/// build's per-partition directories can sum to a different power-of-two
+/// total), so the counter is bit-stable across thread counts and machines.
+size_t CanonicalHashBytes(size_t rows, size_t keys) {
+  return rows * sizeof(uint32_t) + hash::SlotCountFor(keys) * hash::kSlotBytes;
 }
 
 bool CellsEqual(const VectorData& a, size_t ra, const VectorData& b,
@@ -206,59 +181,58 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
                  "supported; re-encode first");
   }
 
-  // Build on the right input (messages / dimension tables are small). Large
-  // build sides are hash-partitioned and built by per-thread partitions in
-  // parallel: partition p owns every hash with h % P == p, and each builder
-  // scans rows in ascending order, so bucket row lists are identical to the
-  // single-map serial build (probe match order — and thus output order — is
-  // bit-identical for any P).
+  // Hash both key sides column-at-a-time (type dispatched once per column
+  // per morsel, not once per cell); row-mode profiles keep per-tuple Value
+  // hashing inside HashKeys.
+  std::vector<uint64_t> rhash = morsel::HashKeys(rk, right.rows, ctx);
+
+  // Build on the right input (messages / dimension tables are small) into a
+  // bucket-chained flat table: duplicate rows per key hash are linked
+  // through one next[] array, so the build is two flat arrays and zero
+  // per-key allocations. Large build sides are hash-partitioned and built
+  // by per-thread partitions in parallel: partition p owns every hash with
+  // h % P == p, and each builder scans its rows in ascending order, so row
+  // chains are identical to the single-table serial build (probe match
+  // order — and thus output order — is bit-identical for any P).
   const size_t P =
       ctx.CanParallel(right.rows) ? static_cast<size_t>(ctx.threads) : 1;
-  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> parts(P);
+  std::vector<hash::JoinHashTable> parts(P);
+  std::vector<uint32_t> shared_next;
   if (P == 1) {
-    auto& buckets = parts[0];
-    buckets.reserve(right.rows * 2);
-    for (size_t r = 0; r < right.rows; ++r) {
-      uint64_t h = ctx.row_mode ? HashRowSlow(rk, r) : HashRow(rk, r);
-      buckets[h].push_back(static_cast<uint32_t>(r));
-    }
+    parts[0].Build(rhash.data(), right.rows);
   } else {
-    // Partition p owns hashes with h % P == p; each partition's rows arrive
-    // in ascending order, so bucket lists match the serial build exactly.
-    morsel::PartitionedRows pr = morsel::PartitionByHash(
-        ctx, right.rows, P, [&](size_t r) { return HashRow(rk, r); });
+    std::vector<std::vector<uint32_t>> prows =
+        morsel::PartitionRowsByHash(ctx, rhash, P);
+    // Partitions own disjoint row sets, so they can chain through one
+    // shared next[] array with disjoint writes.
+    shared_next.resize(right.rows);
     ctx.pool->ParallelFor(P, [&](size_t p) {
-      auto& buckets = parts[p];
-      buckets.reserve(pr.rows[p].size() * 2);
-      for (uint32_t r : pr.rows[p]) buckets[pr.hashes[r]].push_back(r);
+      parts[p].BuildPartition(rhash.data(), prows[p].data(), prows[p].size(),
+                              shared_next.data());
     });
   }
-  auto find_bucket =
-      [&](uint64_t h) -> const std::vector<uint32_t>* {
-    const auto& buckets = parts[P == 1 ? 0 : h % P];
-    auto it = buckets.find(h);
-    return it == buckets.end() ? nullptr : &it->second;
-  };
 
   const bool is_semi = type == sql::JoinType::kSemi;
   const bool is_anti = type == sql::JoinType::kAnti;
   const bool is_left = type == sql::JoinType::kLeft;
 
+  std::vector<uint64_t> lhash = morsel::HashKeys(lk, left.rows, ctx);
+
   auto probe_range = [&](size_t begin, size_t end,
                          std::vector<uint32_t>* lidx,
-                         std::vector<uint32_t>* ridx) {
+                         std::vector<uint32_t>* ridx, size_t* chain_follows) {
     for (size_t l = begin; l < end; ++l) {
-      uint64_t h = ctx.row_mode ? HashRowSlow(lk, l) : HashRow(lk, l);
-      const std::vector<uint32_t>* bucket = find_bucket(h);
+      uint64_t h = lhash[l];
+      const hash::JoinHashTable& table = parts[P == 1 ? 0 : h % P];
       bool matched = false;
-      if (bucket != nullptr) {
-        for (uint32_t r : *bucket) {
-          if (RowsEqual(lk, l, rk, r)) {
-            matched = true;
-            if (is_semi || is_anti) break;
-            lidx->push_back(static_cast<uint32_t>(l));
-            ridx->push_back(r);
-          }
+      for (uint32_t r = table.Probe(h); r != hash::kInvalidIndex;
+           r = table.Next(r)) {
+        ++*chain_follows;
+        if (RowsEqual(lk, l, rk, r)) {
+          matched = true;
+          if (is_semi || is_anti) break;
+          lidx->push_back(static_cast<uint32_t>(l));
+          ridx->push_back(r);
         }
       }
       if ((is_semi && matched) || (is_anti && !matched)) {
@@ -273,15 +247,19 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
   // Morsel-driven probe: per-morsel match lists concatenate in morsel-index
   // order, which is ascending probe-row order — exactly the serial output.
   std::vector<uint32_t> lidx, ridx;
+  size_t chain_follows = 0;
   size_t n_morsels = morsel::NumMorsels(ctx, left.rows);
   if (n_morsels > 1) {
     std::vector<std::vector<uint32_t>> lparts(n_morsels), rparts(n_morsels);
+    std::vector<size_t> chains(n_morsels, 0);
     morsel::ForEachMorsel(ctx, left.rows,
                           [&](size_t m, size_t begin, size_t end) {
-                            probe_range(begin, end, &lparts[m], &rparts[m]);
+                            probe_range(begin, end, &lparts[m], &rparts[m],
+                                        &chains[m]);
                           });
     size_t total = 0;
     for (const auto& p : lparts) total += p.size();
+    for (size_t c : chains) chain_follows += c;
     lidx.reserve(total);
     ridx.reserve(total);
     for (size_t m = 0; m < n_morsels; ++m) {
@@ -289,7 +267,16 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
       ridx.insert(ridx.end(), rparts[m].begin(), rparts[m].end());
     }
   } else {
-    probe_range(0, left.rows, &lidx, &ridx);
+    probe_range(0, left.rows, &lidx, &ridx, &chain_follows);
+  }
+  if (ctx.stats != nullptr) {
+    // Probes = one lookup per build insert + one per probe row. Chain
+    // follows count build rows visited while probing; a key's chain is
+    // identical for any partition count, so the counter is deterministic
+    // across thread counts. Bytes use the canonical single-table footprint.
+    ctx.stats->hash_probes += right.rows + left.rows;
+    ctx.stats->hash_chain_follows += chain_follows;
+    ctx.stats->hash_bytes += CanonicalHashBytes(right.rows, right.rows);
   }
 
   if (is_semi || is_anti) return morsel::ParallelGatherRows(left, lidx, ctx);
@@ -314,25 +301,26 @@ GroupResult GroupRows(const ExecTable& input, const std::vector<int>& key_cols,
   res.group_ids.resize(input.rows);
   std::vector<const VectorData*> keys;
   for (int k : key_cols) keys.push_back(&input.cols[static_cast<size_t>(k)].data);
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  std::vector<uint64_t> hashes = morsel::HashKeys(keys, input.rows, ctx);
+  hash::GroupHashTable table(input.rows);
   for (size_t r = 0; r < input.rows; ++r) {
-    uint64_t h = ctx.row_mode ? HashRowSlow(keys, r) : HashRow(keys, r);
-    auto& bucket = buckets[h];
-    uint32_t gid = UINT32_MAX;
-    for (uint32_t g : bucket) {
-      if (RowsEqual(keys, r, keys, res.representatives[g])) {
-        gid = g;
-        break;
-      }
-    }
-    if (gid == UINT32_MAX) {
-      gid = static_cast<uint32_t>(res.representatives.size());
+    uint32_t gid = table.FindOrAdd(hashes[r], [&](uint32_t g) {
+      return RowsEqual(keys, r, keys, res.representatives[g]);
+    });
+    if (gid == res.representatives.size()) {
       res.representatives.push_back(static_cast<uint32_t>(r));
-      bucket.push_back(gid);
     }
     res.group_ids[r] = gid;
   }
   res.num_groups = res.representatives.size();
+  if (ctx.stats != nullptr) {
+    ctx.stats->hash_probes += input.rows;
+    ctx.stats->hash_chain_follows += table.chain_follows();
+    // Group tables are sized by groups, not rows (the directory grows as
+    // groups appear), so the canonical footprint uses the group count.
+    ctx.stats->hash_bytes +=
+        CanonicalHashBytes(res.num_groups, res.num_groups);
+  }
   return res;
 }
 
@@ -494,39 +482,32 @@ GroupedAggs GroupAndAccumulate(const std::vector<VectorData>& key_vals,
       size_t P = static_cast<size_t>(ctx.threads);
       std::vector<const VectorData*> keys;
       for (const auto& kv : key_vals) keys.push_back(&kv);
-      morsel::PartitionedRows pr = morsel::PartitionByHash(
-          ctx, rows, P, [&](size_t r) { return HashRow(keys, r); });
-      const std::vector<uint64_t>& hashes = pr.hashes;
+      std::vector<uint64_t> hashes = morsel::HashKeys(keys, rows, ctx);
+      std::vector<std::vector<uint32_t>> prows =
+          morsel::PartitionRowsByHash(ctx, hashes, P);
       struct PartResult {
         std::vector<uint32_t> reps;
         std::vector<AggAccum> accums;
+        size_t chain_follows = 0;
       };
       std::vector<PartResult> results(P);
       ctx.pool->ParallelFor(P, [&](size_t p) {
         // Partition p owns hashes with h % P == p, rows in ascending order.
-        const std::vector<uint32_t>& rows = pr.rows[p];
-        std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+        const std::vector<uint32_t>& part_rows = prows[p];
+        hash::GroupHashTable table(part_rows.size());
         std::vector<uint32_t> reps;
-        std::vector<uint32_t> gids(rows.size());
-        for (size_t i = 0; i < rows.size(); ++i) {
-          uint32_t r = rows[i];
-          auto& bucket = buckets[hashes[r]];
-          uint32_t gid = UINT32_MAX;
-          for (uint32_t g : bucket) {
-            if (RowsEqual(keys, r, keys, reps[g])) {
-              gid = g;
-              break;
-            }
-          }
-          if (gid == UINT32_MAX) {
-            gid = static_cast<uint32_t>(reps.size());
-            reps.push_back(r);
-            bucket.push_back(gid);
-          }
+        std::vector<uint32_t> gids(part_rows.size());
+        for (size_t i = 0; i < part_rows.size(); ++i) {
+          uint32_t r = part_rows[i];
+          uint32_t gid = table.FindOrAdd(hashes[r], [&](uint32_t g) {
+            return RowsEqual(keys, r, keys, reps[g]);
+          });
+          if (gid == reps.size()) reps.push_back(r);
           gids[i] = gid;
         }
-        Accumulate(aggs, arg_vals, gids, rows, reps.size(),
+        Accumulate(aggs, arg_vals, gids, part_rows, reps.size(),
                    &results[p].accums);
+        results[p].chain_follows = table.chain_follows();
         results[p].reps = std::move(reps);
       });
       // Merge: order groups by representative row id (== first occurrence,
@@ -582,6 +563,17 @@ GroupedAggs GroupAndAccumulate(const std::vector<VectorData>& key_vals,
       }
       out.representatives.reserve(num_groups);
       for (const GroupRef& gr : order) out.representatives.push_back(gr.rep);
+      if (ctx.stats != nullptr) {
+        // Mirror the serial GroupRows accounting exactly: one probe per
+        // input row, chain follows summed over partitions (a hash's groups
+        // all live in one partition, in serial discovery order, so the sum
+        // equals the serial count), canonical single-table bytes.
+        ctx.stats->hash_probes += rows;
+        for (const PartResult& pr : results) {
+          ctx.stats->hash_chain_follows += pr.chain_follows;
+        }
+        ctx.stats->hash_bytes += CanonicalHashBytes(num_groups, num_groups);
+      }
       return out;
   }
 

@@ -33,5 +33,28 @@ std::string Explain(const LogicalPlan& plan) {
   return os.str();
 }
 
+std::string FormatStats(const PlanStats& s) {
+  std::ostringstream os;
+  os << "queries_planned    " << s.queries_planned << "\n"
+     << "scans              " << s.scans << "\n"
+     << "rows scan in/out   " << s.rows_scan_input << " / "
+     << s.rows_scan_output << "\n"
+     << "cols scan/pruned   " << s.cols_scanned << " / " << s.cols_pruned
+     << "\n"
+     << "decompressed       " << s.cols_decompressed << " cols, "
+     << s.cells_decompressed << " cells\n"
+     << "predicates_pushed  " << s.predicates_pushed << "\n"
+     << "constants_folded   " << s.constants_folded << "\n"
+     << "joins_reordered    " << s.joins_reordered << "\n"
+     << "morsels disp/stole " << s.morsels_dispatched << " / "
+     << s.morsels_stolen << "\n"
+     << "multi_aggs/sets    " << s.multi_aggs << " / " << s.grouping_sets
+     << "\n"
+     << "hash_probes        " << s.hash_probes << "\n"
+     << "hash_chain_follows " << s.hash_chain_follows << "\n"
+     << "hash_bytes         " << s.hash_bytes << "\n";
+  return os.str();
+}
+
 }  // namespace plan
 }  // namespace joinboost

@@ -32,6 +32,13 @@ struct PlanStats {
                                  ///< than the dispatching thread
   size_t multi_aggs = 0;         ///< multi-aggregate (GROUPING SETS) operators
   size_t grouping_sets = 0;      ///< grouping sets evaluated by them
+  size_t hash_probes = 0;        ///< hash-table lookups (join build + probe,
+                                 ///< group find-or-add; one per input row)
+  size_t hash_chain_follows = 0; ///< bucket-chain links walked (join probe
+                                 ///< matches + same-hash group collisions);
+                                 ///< deterministic for any thread count
+  size_t hash_bytes = 0;         ///< hash memory at canonical (single-table)
+                                 ///< sizing: next[] chains + slot directory
 
   PlanStats& operator+=(const PlanStats& o) {
     queries_planned += o.queries_planned;
@@ -49,6 +56,9 @@ struct PlanStats {
     morsels_stolen += o.morsels_stolen;
     multi_aggs += o.multi_aggs;
     grouping_sets += o.grouping_sets;
+    hash_probes += o.hash_probes;
+    hash_chain_follows += o.hash_chain_follows;
+    hash_bytes += o.hash_bytes;
     return *this;
   }
   PlanStats operator-(const PlanStats& o) const {
@@ -68,6 +78,9 @@ struct PlanStats {
     d.morsels_stolen -= o.morsels_stolen;
     d.multi_aggs -= o.multi_aggs;
     d.grouping_sets -= o.grouping_sets;
+    d.hash_probes -= o.hash_probes;
+    d.hash_chain_follows -= o.hash_chain_follows;
+    d.hash_bytes -= o.hash_bytes;
     return d;
   }
 };
@@ -179,6 +192,11 @@ std::string Explain(const LogicalPlan& plan);
 
 /// One-line description of a single operator (no children, no indent).
 std::string OperatorLabel(const LogicalOp& op);
+
+/// Human-readable dump of the execution counters (EXPLAIN-adjacent
+/// reporting; the sql_shell surfaces it as \stats). One "name value" line
+/// per counter group, deterministic for a deterministic query stream.
+std::string FormatStats(const PlanStats& s);
 
 // ---- rewrite rules (rules.cc; exposed for unit tests) ----
 

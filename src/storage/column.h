@@ -14,12 +14,12 @@ namespace joinboost {
 class Dictionary {
  public:
   int64_t GetOrAdd(const std::string& s) {
-    auto it = index_.find(s);
-    if (it != index_.end()) return it->second;
-    int64_t code = static_cast<int64_t>(strings_.size());
-    strings_.push_back(s);
-    index_.emplace(s, code);
-    return code;
+    // Single hash lookup: try_emplace inserts the next dense code or lands
+    // on the existing entry.
+    auto [it, inserted] =
+        index_.try_emplace(s, static_cast<int64_t>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
   }
 
   /// Returns the code or kNullInt64 when absent.

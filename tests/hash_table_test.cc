@@ -1,0 +1,277 @@
+// Unit coverage for the flat hash infrastructure (src/exec/hash_table.h):
+// slot-directory growth, tag collisions, duplicate-key chains, empty and
+// all-duplicate inputs, and the insertion-order guarantees the engine's
+// determinism contract rests on.
+
+#include "exec/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace joinboost {
+namespace exec {
+namespace hash {
+namespace {
+
+TEST(FlatHashTableTest, FindOnEmptyTableMisses) {
+  FlatHashTable t;
+  EXPECT_EQ(t.Find(0), FlatHashTable::kNoSlot);
+  EXPECT_EQ(t.Find(0xDEADBEEFULL), FlatHashTable::kNoSlot);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlatHashTableTest, InsertThenFindRoundTrips) {
+  FlatHashTable t;
+  t.Init(4);
+  bool inserted = false;
+  size_t s1 = t.FindOrInsert(42, &inserted);
+  EXPECT_TRUE(inserted);
+  t.set_head(s1, 7);
+  size_t s2 = t.FindOrInsert(42, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t.Find(42), s1);
+  EXPECT_EQ(t.head(s1), 7u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatHashTableTest, GrowthPreservesEveryEntry) {
+  // Init for 4 expected keys (16 slots), insert far more: the directory
+  // must double repeatedly and keep every (hash -> head/tail) association.
+  FlatHashTable t;
+  t.Init(4);
+  const size_t kKeys = 10000;
+  Rng rng(7);
+  std::vector<uint64_t> hashes;
+  for (size_t i = 0; i < kKeys; ++i) hashes.push_back(rng.Next());
+  for (size_t i = 0; i < kKeys; ++i) {
+    bool inserted = false;
+    size_t slot = t.FindOrInsert(hashes[i], &inserted);
+    ASSERT_TRUE(inserted) << "hash " << i;
+    t.set_head(slot, static_cast<uint32_t>(i));
+    t.set_tail(slot, static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(t.size(), kKeys);
+  EXPECT_GE(t.capacity() * 7, kKeys * 8) << "load factor above 7/8";
+  for (size_t i = 0; i < kKeys; ++i) {
+    size_t slot = t.Find(hashes[i]);
+    ASSERT_NE(slot, FlatHashTable::kNoSlot) << "hash " << i << " lost";
+    EXPECT_EQ(t.head(slot), static_cast<uint32_t>(i));
+    EXPECT_EQ(t.tail(slot), static_cast<uint32_t>(i + 1));
+  }
+}
+
+TEST(FlatHashTableTest, TagAndSlotCollisionsAreResolvedByFullHash) {
+  // Hashes that agree on the slot index (low bits) AND the 8-bit tag (top
+  // byte) but differ in the middle bits: the directory must fall through to
+  // the full 64-bit compare and keep all of them apart.
+  FlatHashTable t;
+  t.Init(4);  // 16 slots: mask 0xF
+  std::vector<uint64_t> colliders;
+  for (uint64_t mid = 1; mid <= 6; ++mid) {
+    colliders.push_back(0xAB00000000000003ULL | (mid << 16));
+  }
+  for (size_t i = 0; i < colliders.size(); ++i) {
+    bool inserted = false;
+    size_t slot = t.FindOrInsert(colliders[i], &inserted);
+    ASSERT_TRUE(inserted) << "collider " << i << " merged with a neighbor";
+    t.set_head(slot, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(t.size(), colliders.size());
+  for (size_t i = 0; i < colliders.size(); ++i) {
+    size_t slot = t.Find(colliders[i]);
+    ASSERT_NE(slot, FlatHashTable::kNoSlot);
+    EXPECT_EQ(t.head(slot), static_cast<uint32_t>(i));
+  }
+  // A same-slot same-tag hash that was never inserted must still miss.
+  EXPECT_EQ(t.Find(0xAB00000000000003ULL | (99ULL << 16)),
+            FlatHashTable::kNoSlot);
+}
+
+TEST(JoinHashTableTest, EmptyBuildProbesToNothing) {
+  JoinHashTable t;
+  t.Build(nullptr, 0);
+  EXPECT_EQ(t.Probe(123), kInvalidIndex);
+  EXPECT_EQ(t.num_keys(), 0u);
+}
+
+std::vector<uint32_t> Chain(const JoinHashTable& t, uint64_t h) {
+  std::vector<uint32_t> rows;
+  for (uint32_t r = t.Probe(h); r != kInvalidIndex; r = t.Next(r)) {
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(JoinHashTableTest, DuplicateKeyChainsKeepInsertionOrder) {
+  // Rows 0..11 alternating over three key hashes: every chain must
+  // enumerate its rows in ascending (insertion) order.
+  std::vector<uint64_t> hashes;
+  for (uint32_t r = 0; r < 12; ++r) hashes.push_back(1000 + r % 3);
+  JoinHashTable t;
+  t.Build(hashes.data(), hashes.size());
+  EXPECT_EQ(t.num_keys(), 3u);
+  EXPECT_EQ(Chain(t, 1000), (std::vector<uint32_t>{0, 3, 6, 9}));
+  EXPECT_EQ(Chain(t, 1001), (std::vector<uint32_t>{1, 4, 7, 10}));
+  EXPECT_EQ(Chain(t, 1002), (std::vector<uint32_t>{2, 5, 8, 11}));
+  EXPECT_EQ(Chain(t, 999), (std::vector<uint32_t>{}));
+}
+
+TEST(JoinHashTableTest, AllDuplicateInputBuildsOneFullChain) {
+  std::vector<uint64_t> hashes(257, 0xFEEDULL);
+  JoinHashTable t;
+  t.Build(hashes.data(), hashes.size());
+  EXPECT_EQ(t.num_keys(), 1u);
+  std::vector<uint32_t> chain = Chain(t, 0xFEEDULL);
+  ASSERT_EQ(chain.size(), hashes.size());
+  for (uint32_t r = 0; r < chain.size(); ++r) EXPECT_EQ(chain[r], r);
+}
+
+TEST(JoinHashTableTest, PartitionedBuildMatchesSerialChains) {
+  // Partition rows by h % P (ascending within each partition, like
+  // PartitionRowsByHash), build per-partition tables through one shared
+  // next[] array, and verify each key's chain equals the serial build's.
+  Rng rng(11);
+  const size_t kRows = 5000, kKeys = 97;
+  std::vector<uint64_t> hashes(kRows);
+  for (auto& h : hashes) h = SplitMix64(rng.NextInt(0, kKeys - 1));
+  JoinHashTable serial;
+  serial.Build(hashes.data(), kRows);
+  for (size_t P : {2, 3, 8}) {
+    std::vector<std::vector<uint32_t>> prows(P);
+    for (uint32_t r = 0; r < kRows; ++r) {
+      prows[hashes[r] % P].push_back(r);
+    }
+    std::vector<uint32_t> shared_next(kRows);
+    std::vector<JoinHashTable> parts(P);
+    for (size_t p = 0; p < P; ++p) {
+      parts[p].BuildPartition(hashes.data(), prows[p].data(), prows[p].size(),
+                              shared_next.data());
+    }
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      uint64_t h = SplitMix64(k);
+      EXPECT_EQ(Chain(parts[h % P], h), Chain(serial, h))
+          << "P=" << P << " key " << k;
+    }
+  }
+}
+
+TEST(JoinHashTableTest, MatchesUnorderedMapReference) {
+  Rng rng(13);
+  const size_t kRows = 20000;
+  std::vector<uint64_t> hashes(kRows);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> reference;
+  for (uint32_t r = 0; r < kRows; ++r) {
+    hashes[r] = SplitMix64(rng.NextInt(0, 499));
+    reference[hashes[r]].push_back(r);
+  }
+  JoinHashTable t;
+  t.Build(hashes.data(), kRows);
+  EXPECT_EQ(t.num_keys(), reference.size());
+  for (const auto& [h, rows] : reference) {
+    EXPECT_EQ(Chain(t, h), rows) << "hash " << h;
+  }
+}
+
+TEST(GroupHashTableTest, GroupIdsFollowFirstOccurrenceOrder) {
+  // Keys via identity hash; eq resolves by the key value itself.
+  std::vector<uint64_t> keys = {5, 9, 5, 2, 9, 9, 5, 2};
+  GroupHashTable t(keys.size());
+  std::vector<uint64_t> rep_keys;
+  std::vector<uint32_t> gids;
+  for (uint64_t k : keys) {
+    uint32_t gid = t.FindOrAdd(SplitMix64(k), [&](uint32_t g) {
+      return rep_keys[g] == k;
+    });
+    if (gid == rep_keys.size()) rep_keys.push_back(k);
+    gids.push_back(gid);
+  }
+  EXPECT_EQ(t.num_groups(), 3u);
+  EXPECT_EQ(rep_keys, (std::vector<uint64_t>{5, 9, 2}));
+  EXPECT_EQ(gids, (std::vector<uint32_t>{0, 1, 0, 2, 1, 1, 0, 2}));
+}
+
+TEST(GroupHashTableTest, SameHashDifferentKeysChainAndStayDistinct) {
+  // Force full 64-bit hash collisions: all keys hash to 77. The chain walk
+  // must consult eq() and keep one group per distinct key.
+  std::vector<uint64_t> keys = {1, 2, 3, 1, 2, 3, 1};
+  GroupHashTable t(keys.size());
+  std::vector<uint64_t> rep_keys;
+  std::vector<uint32_t> gids;
+  for (uint64_t k : keys) {
+    uint32_t gid =
+        t.FindOrAdd(77, [&](uint32_t g) { return rep_keys[g] == k; });
+    if (gid == rep_keys.size()) rep_keys.push_back(k);
+    gids.push_back(gid);
+  }
+  EXPECT_EQ(t.num_groups(), 3u);
+  EXPECT_EQ(gids, (std::vector<uint32_t>{0, 1, 2, 0, 1, 2, 0}));
+  EXPECT_GT(t.chain_follows(), 0u);
+}
+
+TEST(GroupHashTableTest, GrowthKeepsGroupsDistinct) {
+  GroupHashTable t(0);  // minimal directory; must grow many times
+  const uint64_t kDistinct = 5000;
+  std::vector<uint64_t> rep_keys;
+  for (uint64_t pass = 0; pass < 2; ++pass) {
+    for (uint64_t k = 0; k < kDistinct; ++k) {
+      uint32_t gid = t.FindOrAdd(SplitMix64(k), [&](uint32_t g) {
+        return rep_keys[g] == k;
+      });
+      if (gid == rep_keys.size()) rep_keys.push_back(k);
+      ASSERT_EQ(gid, static_cast<uint32_t>(k)) << "pass " << pass;
+    }
+  }
+  EXPECT_EQ(t.num_groups(), kDistinct);
+}
+
+TEST(ValueSetTest, EmptySetContainsNothing) {
+  ValueSet s;
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(42));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ValueSetTest, InsertIsIdempotentAndGrows) {
+  ValueSet s(2);
+  Rng rng(17);
+  std::vector<uint64_t> values;
+  for (size_t i = 0; i < 3000; ++i) values.push_back(rng.Next());
+  for (uint64_t v : values) {
+    s.Insert(v);
+    s.Insert(v);  // duplicate insert must not double-count
+  }
+  EXPECT_EQ(s.size(), values.size());
+  for (uint64_t v : values) EXPECT_TRUE(s.Contains(v));
+  Rng other(18);
+  size_t false_hits = 0;
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < 1000; ++i) {
+    uint64_t v = other.Next();
+    if (!std::binary_search(values.begin(), values.end(), v) &&
+        s.Contains(v)) {
+      ++false_hits;
+    }
+  }
+  EXPECT_EQ(false_hits, 0u);
+}
+
+TEST(SlotCountTest, PowerOfTwoAndHalfLoadBound) {
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u, 4096u, 4097u}) {
+    size_t cap = SlotCountFor(n);
+    EXPECT_GE(cap, 16u);
+    EXPECT_EQ(cap & (cap - 1), 0u) << "not a power of two for n=" << n;
+    EXPECT_GE(cap, 2 * n) << "load factor above 1/2 for n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace hash
+}  // namespace exec
+}  // namespace joinboost

@@ -121,6 +121,16 @@ EngineProfile DiffProfile(bool use_planner, int threads) {
   return p;
 }
 
+/// Tuple-at-a-time engine: exercises the HashRowSlow / EvalScalar paths,
+/// which must keep producing the same hash values (and therefore the same
+/// chains, group ids and row orders) as the columnar vectorized hashing.
+EngineProfile RowModeProfile(bool use_planner) {
+  EngineProfile p = DiffProfile(use_planner, 1);
+  p.name = "X-row-diff";
+  p.columnar_exec = false;
+  return p;
+}
+
 // ---------------------------------------------------------------------------
 // Seeded random query generator.
 // ---------------------------------------------------------------------------
@@ -350,6 +360,59 @@ TEST_F(ParallelDifferentialTest, GeneratedQueriesAreBitIdenticalAcrossConfigs) {
       << "N-thread engine never dispatched a morsel: thresholds broken?";
   EXPECT_EQ(on1_->PlanStatsTotals().morsels_dispatched, 0u)
       << "1-thread engine dispatched morsels: serial baseline broken?";
+  // The hash counters are canonical (partition-count independent), so after
+  // an identical query stream they must agree bit-for-bit across thread
+  // counts — that's what lets the CI bench guard pin them.
+  plan::PlanStats s1 = on1_->PlanStatsTotals();
+  plan::PlanStats sN = onN_->PlanStatsTotals();
+  EXPECT_GT(s1.hash_probes, 0u);
+  EXPECT_EQ(s1.hash_probes, sN.hash_probes);
+  EXPECT_EQ(s1.hash_chain_follows, sN.hash_chain_follows);
+  EXPECT_EQ(s1.hash_bytes, sN.hash_bytes);
+}
+
+// Row-mode engines share the operator pipeline but hash keys per tuple
+// through Value materialization (morsel::HashKeys' row_mode branch). Hash
+// values — and therefore chains, group discovery order and output order —
+// must match the columnar engines exactly, so a serial row engine is
+// row-sequence identical to the serial columnar engine in the same planner
+// mode. This pins HashRowSlow against the vectorized column-at-a-time
+// hashing.
+TEST_F(ParallelDifferentialTest, RowModeEnginesMatchColumnarBitExactly) {
+  auto row_off = std::make_unique<Database>(RowModeProfile(false));
+  auto row_on = std::make_unique<Database>(RowModeProfile(true));
+  BuildDiffTables(row_off.get(), /*seed=*/97, kRows);
+  BuildDiffTables(row_on.get(), /*seed=*/97, kRows);
+  uint64_t base_seed = 0x526F774D6FULL;  // distinct from the main fuzz
+  if (const char* env = std::getenv("JB_DIFF_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  size_t count = 24;  // row-mode evaluation is tuple-at-a-time (slow)
+  if (const char* env = std::getenv("JB_DIFF_COUNT")) {
+    count = std::strtoull(env, nullptr, 0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t seed = base_seed + i;
+    GenQuery q = GenerateQuery(seed);
+    SCOPED_TRACE("replay: JB_DIFF_SEED=" + std::to_string(seed) +
+                 " JB_DIFF_COUNT=1 | seed " + std::to_string(seed) + " | " +
+                 q.sql);
+    EXPECT_EQ(RowStrings(*row_off->Query(q.sql)),
+              RowStrings(*off1_->Query(q.sql)))
+        << "row engine vs columnar (planner off) differ";
+    EXPECT_EQ(RowStrings(*row_on->Query(q.sql)),
+              RowStrings(*on1_->Query(q.sql)))
+        << "row engine vs columnar (planner on) differ";
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[parallel_differential] FAILING ROW-MODE SEED: %llu\n",
+                   static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+  // Row engines must stay strictly serial (tuple-at-a-time cost structure).
+  EXPECT_EQ(row_off->PlanStatsTotals().morsels_dispatched, 0u);
+  EXPECT_EQ(row_on->PlanStatsTotals().morsels_dispatched, 0u);
 }
 
 TEST_F(ParallelDifferentialTest,
