@@ -22,6 +22,11 @@ struct FavoritaConfig {
   /// Extra random feature columns added per dimension (Figure 10 sweeps the
   /// total feature count 5 → 50).
   int extra_features_per_dim = 1;
+  /// Also expose the fact's date key as a training feature. Sales rows are
+  /// generated in date order (like the real feed), so trees that split on
+  /// the date produce range predicates that compressed execution can answer
+  /// from zone maps without decoding.
+  bool date_feature_on_fact = false;
   uint64_t seed = 42;
 };
 

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/operators.h"
+#include "exec/vector.h"
+#include "storage/table.h"
+
+namespace joinboost {
+namespace exec {
+
+/// Result of a compressed fused scan-filter. When `used` is false the caller
+/// must fall back to the decode-everything path (the filter shape or column
+/// mix is not coverable); counters are only meaningful when `used`.
+struct CompressedScanResult {
+  bool used = false;
+  ExecTable table;              ///< survivors only, ascending row order
+  size_t cols_decompressed = 0; ///< encoded columns with >=1 touched block
+  size_t cells_decompressed = 0;  ///< sum of touched blocks' value counts
+  size_t cells_avoided = 0;       ///< encoded cells never materialized
+  size_t blocks_skipped = 0;      ///< encoded blocks never materialized
+};
+
+/// Evaluate `filter` over the (pruned) column subset of `table` directly on
+/// the compressed payloads where possible:
+///
+///   Phase A — conjuncts of the form <encoded col> op <literal>, IN-list and
+///   IS [NOT] NULL are lowered into code space once per (conjunct, column):
+///   string literals translate to dictionary ids, ranges test against each
+///   frame-of-reference block's [min, max] zone map. Blocks proven all-match
+///   or none-match are never unpacked; only straddling blocks decode.
+///
+///   Phase B — remaining conjuncts run through the ordinary vectorized
+///   EvalPredicate over the surviving rows only, late-materializing just the
+///   blocks that still contain survivors.
+///
+///   Phase C — requested output columns materialize only the blocks holding
+///   finally-selected rows.
+///
+/// The selected row sequence — and every output cell — is bit-identical to
+/// evaluating the filter on fully decoded columns: lowered predicates use
+/// the same double-space comparison math as EvalComparison, and per-row
+/// independence of the residual conjuncts makes subset evaluation exact.
+/// All counters derive from per-(column, block) outcomes, so they are
+/// deterministic for any thread count.
+CompressedScanResult TryCompressedScan(const Table& table,
+                                       const std::string& qualifier,
+                                       const std::vector<int>& cols,
+                                       const sql::Expr& filter,
+                                       EvalContext& ectx, const OpContext& ctx);
+
+}  // namespace exec
+}  // namespace joinboost

@@ -185,6 +185,7 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
   octx.stats = &local;
   octx.morsel_rows = profile_.morsel_rows;
   octx.parallel_threshold = profile_.parallel_threshold_rows;
+  octx.compressed_exec = profile_.compressed_exec && profile_.compression;
 
   EvalContext ectx;
   ectx.run_subquery = [this](const sql::SelectStmt& sub) {

@@ -1,5 +1,7 @@
 #include "exec/expr_eval.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -161,7 +163,57 @@ bool IsLiteral(const sql::Expr& e) {
 VectorData EvalFunc(const sql::Expr& e, const ExecTable& input,
                     EvalContext& ctx);
 
+std::atomic<size_t> g_in_list_translations{0};
+
 }  // namespace
+
+size_t InListTranslations() { return g_in_list_translations.load(); }
+void ResetInListTranslations() { g_in_list_translations.store(0); }
+
+const InListSet& GetOrBuildInListSet(const sql::Expr& e, TypeId probe_type,
+                                     const Dictionary* dict, EvalContext& ctx) {
+  auto key = std::make_pair(&e, probe_type == TypeId::kString ? dict : nullptr);
+  auto cached = ctx.list_sets.find(key);
+  if (cached != ctx.list_sets.end()) return *cached->second;
+
+  auto ls = std::make_shared<InListSet>();
+  ls->as_double = probe_type == TypeId::kFloat64;
+  auto s = std::make_shared<hash::ValueSet>(e.args.size() - 1);
+  bool translated = false;
+  for (size_t a = 1; a < e.args.size(); ++a) {
+    const sql::Expr& lit = *e.args[a];
+    int64_t member;
+    if (probe_type == TypeId::kString && dict != nullptr &&
+        lit.kind == sql::ExprKind::kStringLiteral) {
+      member = dict->Find(lit.str_val);
+      translated = true;
+    } else if (ls->as_double) {
+      double d = lit.kind == sql::ExprKind::kFloatLiteral
+                     ? lit.float_val
+                     : static_cast<double>(lit.int_val);
+      std::memcpy(&member, &d, 8);
+    } else {
+      member = lit.kind == sql::ExprKind::kFloatLiteral
+                   ? static_cast<int64_t>(lit.float_val)
+                   : lit.int_val;
+    }
+    s->Insert(static_cast<uint64_t>(member));
+    // Bounds over int64 members only; kNullInt64 (absent dictionary string)
+    // can never match a probe value, so it does not widen the range.
+    if (!ls->as_double && member != kNullInt64) {
+      if (!ls->has_bounds) {
+        ls->min_value = ls->max_value = member;
+        ls->has_bounds = true;
+      } else {
+        ls->min_value = std::min(ls->min_value, member);
+        ls->max_value = std::max(ls->max_value, member);
+      }
+    }
+  }
+  if (translated) g_in_list_translations.fetch_add(1);
+  ls->set = std::move(s);
+  return *ctx.list_sets.emplace(key, std::move(ls)).first->second;
+}
 
 VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
                     EvalContext& ctx) {
@@ -341,39 +393,11 @@ VectorData EvalExpr(const sql::Expr& e, const ExecTable& input,
     }
     case sql::ExprKind::kInList: {
       VectorData probe = EvalExpr(*e.args[0], input, ctx);
-      bool as_double = probe.type == TypeId::kFloat64;
-      // String probes translate literals through the probe's dictionary,
-      // which can differ between evaluations of the same node — only
-      // dictionary-free probes are safe to cache per context.
-      const bool cacheable = !(probe.type == TypeId::kString && probe.dict);
-      std::shared_ptr<const hash::ValueSet> set;
-      auto cached = cacheable ? ctx.in_sets.find(&e) : ctx.in_sets.end();
-      if (cacheable && cached != ctx.in_sets.end()) {
-        set = cached->second;
-      } else {
-        auto s = std::make_shared<hash::ValueSet>(e.args.size() - 1);
-        for (size_t a = 1; a < e.args.size(); ++a) {
-          const sql::Expr& lit = *e.args[a];
-          if (probe.type == TypeId::kString && probe.dict &&
-              lit.kind == sql::ExprKind::kStringLiteral) {
-            s->Insert(static_cast<uint64_t>(probe.dict->Find(lit.str_val)));
-          } else if (as_double) {
-            double d = lit.kind == sql::ExprKind::kFloatLiteral
-                           ? lit.float_val
-                           : static_cast<double>(lit.int_val);
-            int64_t bits;
-            std::memcpy(&bits, &d, 8);
-            s->Insert(static_cast<uint64_t>(bits));
-          } else {
-            s->Insert(static_cast<uint64_t>(
-                lit.kind == sql::ExprKind::kFloatLiteral
-                    ? static_cast<int64_t>(lit.float_val)
-                    : lit.int_val));
-          }
-        }
-        set = s;
-        if (cacheable) ctx.in_sets.emplace(&e, set);
-      }
+      const InListSet& ls = GetOrBuildInListSet(
+          e, probe.type,
+          probe.type == TypeId::kString ? probe.dict.get() : nullptr, ctx);
+      const bool as_double = ls.as_double;
+      const std::shared_ptr<const hash::ValueSet>& set = ls.set;
       std::vector<int64_t> out(rows);
       for (size_t i = 0; i < rows; ++i) {
         bool found;

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "exec/hash_table.h"
 #include "exec/vector.h"
@@ -10,6 +12,16 @@
 
 namespace joinboost {
 namespace exec {
+
+/// An IN (...) literal list translated into a probe value space, plus the
+/// integer bounds compressed execution uses for zone-map block skipping.
+struct InListSet {
+  std::shared_ptr<const hash::ValueSet> set;
+  bool as_double = false;   ///< members are double bit patterns
+  bool has_bounds = false;  ///< min/max below are valid (int64 members exist)
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+};
 
 /// Context threaded through expression evaluation.
 struct EvalContext {
@@ -20,13 +32,22 @@ struct EvalContext {
   /// by the operators and substituted here during final projection.
   std::unordered_map<const sql::Expr*, VectorData> overrides;
 
-  /// Membership sets of IN (...) / IN (subquery) predicates, built once per
-  /// context per predicate node and reused across evaluations. Without the
-  /// cache, every evaluation rebuilt the set — and row-mode scalar
-  /// evaluation re-enters the vectorized path per row, so an IN predicate
-  /// rebuilt its set (and re-ran its subquery) once per input row.
+  /// Membership sets of IN (subquery) predicates, built once per context per
+  /// predicate node and reused across evaluations. Without the cache, every
+  /// evaluation rebuilt the set — and row-mode scalar evaluation re-enters
+  /// the vectorized path per row, so an IN predicate rebuilt its set (and
+  /// re-ran its subquery) once per input row.
   std::unordered_map<const sql::Expr*, std::shared_ptr<const hash::ValueSet>>
       in_sets;
+
+  /// IN (...) literal lists translated per (predicate node, probe
+  /// dictionary). String probes with different dictionaries translate to
+  /// different code sets, so the dictionary is part of the key — this is
+  /// what keeps repeated evaluations against the same dictionary from
+  /// re-translating the list (it previously stayed uncached).
+  std::map<std::pair<const sql::Expr*, const Dictionary*>,
+           std::shared_ptr<const InListSet>>
+      list_sets;
 
   /// Scalar subquery results (their 1x1 value vector), cached per context
   /// per node for the same reason: table data is immutable within one
@@ -34,6 +55,18 @@ struct EvalContext {
   /// input row otherwise.
   std::unordered_map<const sql::Expr*, VectorData> scalar_subqueries;
 };
+
+/// Translate an IN-list node's literals into the probe's value space —
+/// dictionary codes for string probes, double bit patterns for float probes,
+/// raw int64 otherwise — cached per (node, dictionary) in `ctx.list_sets`.
+/// Shared between vectorized evaluation and the compressed scan.
+const InListSet& GetOrBuildInListSet(const sql::Expr& e, TypeId probe_type,
+                                     const Dictionary* dict, EvalContext& ctx);
+
+/// Process-wide count of IN-list translations that probed a dictionary
+/// (deterministic regression knob for the (node, dictionary) cache).
+size_t InListTranslations();
+void ResetInListTranslations();
 
 /// Vectorized evaluation of `e` over `input` (result has input.rows rows;
 /// literals broadcast).

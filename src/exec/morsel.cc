@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "sql/expr_util.h"
+#include "storage/compression.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -315,6 +316,38 @@ void MixColumnHash(const VectorData& v, size_t begin, size_t end,
   }
 }
 
+/// Mix one encoded key column into the hash buffer straight from the packed
+/// payload — no decode buffer. Each cell's bits are reconstructed as
+/// reference + delta in unsigned space, which is exactly the value the
+/// decoded vector would hold, so hashes (and therefore partition ownership
+/// and probe order) are identical to MixColumnHash over decoded ints.
+void MixColumnHashEncoded(const compression::EncodedInts& enc, size_t begin,
+                          size_t end, uint64_t* out) {
+  size_t b = begin / compression::kBlockSize;
+  size_t r = begin;
+  for (; r < end; ++b) {
+    const compression::EncodedInts::Block& blk = enc.blocks[b];
+    const size_t base = b * compression::kBlockSize;
+    const size_t stop = std::min(end, base + blk.count);
+    const uint64_t uref = static_cast<uint64_t>(blk.reference);
+    const uint8_t bw = blk.bit_width;
+    if (bw == 0) {
+      for (; r < stop; ++r) out[r] = HashCombine(out[r], uref);
+      continue;
+    }
+    const uint64_t mask = bw == 64 ? ~0ULL : ((1ULL << bw) - 1);
+    const uint64_t* words = blk.words.data();
+    for (; r < stop; ++r) {
+      const size_t bit_pos = (r - base) * bw;
+      const size_t word = bit_pos >> 6;
+      const size_t offset = bit_pos & 63;
+      uint64_t v = words[word] >> offset;
+      if (offset + bw > 64) v |= words[word + 1] << (64 - offset);
+      out[r] = HashCombine(out[r], uref + (v & mask));
+    }
+  }
+}
+
 /// Row-mode hashing goes through Value materialization — the per-tuple
 /// overhead that makes row engines slower on analytics. Produces the same
 /// hash values as the columnar path.
@@ -344,7 +377,13 @@ std::vector<uint64_t> HashKeys(const std::vector<const VectorData*>& keys,
     return out;
   }
   ForEachMorsel(ctx, rows, [&](size_t, size_t begin, size_t end) {
-    for (const auto* k : keys) MixColumnHash(*k, begin, end, out.data());
+    for (const auto* k : keys) {
+      if (k->enc && k->type != TypeId::kFloat64 && k->enc->size == rows) {
+        MixColumnHashEncoded(*k->enc, begin, end, out.data());
+      } else {
+        MixColumnHash(*k, begin, end, out.data());
+      }
+    }
   });
   return out;
 }

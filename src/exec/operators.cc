@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "exec/compressed_scan.h"
 #include "exec/hash_table.h"
 #include "exec/morsel.h"
 #include "sql/printer.h"
@@ -69,6 +70,32 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
   }
   const std::vector<int>& cols = spec.columns ? *spec.columns : all_cols;
   const bool pay_interop = ctx.interop_scan && table.dataframe();
+  if (ctx.compressed_exec && !ctx.row_mode && spec.filter != nullptr &&
+      !table.dataframe()) {
+    // Compressed execution: evaluate the fused filter directly on encoded
+    // payloads and late-materialize only the touched blocks. Falls through
+    // to the decode-everything path when the filter/column mix is not
+    // coverable; when it runs, the selected rows and output cells are
+    // bit-identical to that path.
+    JB_CHECK_MSG(spec.ectx != nullptr, "fused scan filter needs an EvalContext");
+    CompressedScanResult cres = TryCompressedScan(table, qualifier, cols,
+                                                  *spec.filter, *spec.ectx, ctx);
+    if (cres.used) {
+      if (ctx.stats != nullptr) {
+        plan::PlanStats& s = *ctx.stats;
+        ++s.scans;
+        s.rows_scan_input += table.num_rows();
+        s.rows_scan_output += cres.table.rows;
+        s.cols_scanned += cols.size();
+        s.cols_pruned += total_cols - cols.size();
+        s.cols_decompressed += cres.cols_decompressed;
+        s.cells_decompressed += cres.cells_decompressed;
+        s.cells_decompress_avoided += cres.cells_avoided;
+        s.blocks_skipped += cres.blocks_skipped;
+      }
+      return std::move(cres.table);
+    }
+  }
   out.cols.resize(cols.size());
   std::vector<uint8_t> col_decompressed(cols.size(), 0);
   auto materialize = [&](size_t c) {
@@ -85,6 +112,11 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
         v.dbls = col->ScanDoubles();
       } else {
         v.ints = col->ScanInts();
+        if (ctx.compressed_exec && !ctx.row_mode) {
+          // Compressed sidecar: downstream hash kernels mix dictionary ids
+          // and frame-of-reference deltas straight from the packed payload.
+          v.enc = col->EncodedIntsPayload();
+        }
       }
     } else if (pay_interop) {
       // DP mode: the dataframe scan converts values element-by-element with
@@ -173,12 +205,41 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
   for (int k : right_keys) {
     rk.push_back(&right.cols[static_cast<size_t>(k)].data);
   }
+  // Cross-dictionary string joins: remap the probe (left) side's codes into
+  // the build side's code space once per key column, so hashing and equality
+  // both run on plain int codes with no string materialization. Left codes
+  // absent from the right dictionary map to a sentinel no right-side code
+  // can carry (right codes are dense non-negatives or the NULL sentinel),
+  // so absent strings match nothing while NULL still pairs with NULL —
+  // exactly the semantics of a shared-dictionary code join. Output columns
+  // gather from the original inputs, untouched.
+  constexpr int64_t kAbsentCode = kNullInt64 + 1;
+  std::vector<VectorData> remapped;
+  remapped.reserve(lk.size());  // keep lk's pointers stable across pushes
   for (size_t i = 0; i < lk.size(); ++i) {
-    JB_CHECK_MSG(!(lk[i]->type == TypeId::kString &&
-                   rk[i]->type == TypeId::kString && lk[i]->dict &&
-                   rk[i]->dict && lk[i]->dict != rk[i]->dict),
-                 "join on string columns with different dictionaries is not "
-                 "supported; re-encode first");
+    if (!(lk[i]->type == TypeId::kString && rk[i]->type == TypeId::kString &&
+          lk[i]->dict && rk[i]->dict && lk[i]->dict != rk[i]->dict)) {
+      continue;
+    }
+    const Dictionary& ld = *lk[i]->dict;
+    const Dictionary& rd = *rk[i]->dict;
+    std::vector<int64_t> remap(ld.size());
+    for (size_t code = 0; code < ld.size(); ++code) {
+      int64_t t = rd.Find(ld.At(static_cast<int64_t>(code)));
+      remap[code] = t == kNullInt64 ? kAbsentCode : t;
+    }
+    const std::vector<int64_t>& src = *lk[i]->ints;
+    std::vector<int64_t> codes(src.size());
+    for (size_t r = 0; r < src.size(); ++r) {
+      codes[r] = src[r] == kNullInt64 ? kNullInt64
+                                      : remap[static_cast<size_t>(src[r])];
+    }
+    VectorData v;
+    v.type = TypeId::kString;
+    v.dict = rk[i]->dict;
+    v.ints = std::make_shared<const std::vector<int64_t>>(std::move(codes));
+    remapped.push_back(std::move(v));
+    lk[i] = &remapped.back();
   }
 
   // Hash both key sides column-at-a-time (type dispatched once per column

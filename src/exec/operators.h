@@ -19,6 +19,7 @@ struct OpContext {
   int threads = 1;             ///< intra-query parallelism
   ThreadPool* pool = nullptr;  ///< shared pool (may be null -> sequential)
   bool interop_scan = false;   ///< dataframe scans pay an extra copy (DP)
+  bool compressed_exec = false;  ///< evaluate predicates/hashes on codes
   plan::PlanStats* stats = nullptr;  ///< optional per-query counters
   size_t morsel_rows = 16384;        ///< rows per dispatched morsel
   size_t parallel_threshold = 8192;  ///< inputs below this run serially

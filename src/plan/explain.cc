@@ -43,6 +43,8 @@ std::string FormatStats(const PlanStats& s) {
      << "\n"
      << "decompressed       " << s.cols_decompressed << " cols, "
      << s.cells_decompressed << " cells\n"
+     << "decompress_avoided " << s.cells_decompress_avoided << " cells\n"
+     << "blocks_skipped     " << s.blocks_skipped << "\n"
      << "predicates_pushed  " << s.predicates_pushed << "\n"
      << "constants_folded   " << s.constants_folded << "\n"
      << "joins_reordered    " << s.joins_reordered << "\n"

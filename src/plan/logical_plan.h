@@ -24,6 +24,11 @@ struct PlanStats {
   size_t cols_pruned = 0;        ///< columns skipped via projection pruning
   size_t cols_decompressed = 0;  ///< encoded columns actually decoded
   size_t cells_decompressed = 0; ///< rows x decoded columns (decode volume)
+  size_t cells_decompress_avoided = 0; ///< encoded cells compressed execution
+                                       ///< never materialized; deterministic
+                                       ///< for any thread count
+  size_t blocks_skipped = 0;     ///< encoded blocks skipped wholesale via
+                                 ///< zone-map (min/max) predicate bounds
   size_t predicates_pushed = 0;  ///< WHERE conjuncts fused into scans
   size_t constants_folded = 0;   ///< predicate subtrees folded to literals
   size_t joins_reordered = 0;    ///< queries whose join order changed
@@ -49,6 +54,8 @@ struct PlanStats {
     cols_pruned += o.cols_pruned;
     cols_decompressed += o.cols_decompressed;
     cells_decompressed += o.cells_decompressed;
+    cells_decompress_avoided += o.cells_decompress_avoided;
+    blocks_skipped += o.blocks_skipped;
     predicates_pushed += o.predicates_pushed;
     constants_folded += o.constants_folded;
     joins_reordered += o.joins_reordered;
@@ -71,6 +78,8 @@ struct PlanStats {
     d.cols_pruned -= o.cols_pruned;
     d.cols_decompressed -= o.cols_decompressed;
     d.cells_decompressed -= o.cells_decompressed;
+    d.cells_decompress_avoided -= o.cells_decompress_avoided;
+    d.blocks_skipped -= o.blocks_skipped;
     d.predicates_pushed -= o.predicates_pushed;
     d.constants_folded -= o.constants_folded;
     d.joins_reordered -= o.joins_reordered;

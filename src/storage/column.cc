@@ -72,11 +72,11 @@ ColumnPtr ColumnData::AdoptCodes(std::shared_ptr<const std::vector<int64_t>> v,
 void ColumnData::Encode() {
   if (encoded_) return;
   if (type_ == TypeId::kFloat64) {
-    enc_dbls_ = std::make_unique<compression::EncodedDoubles>(
+    enc_dbls_ = std::make_shared<const compression::EncodedDoubles>(
         compression::EncodeDoubles(*dbls_));
     dbls_.reset();
   } else {
-    enc_ints_ = std::make_unique<compression::EncodedInts>(
+    enc_ints_ = std::make_shared<const compression::EncodedInts>(
         compression::EncodeInts(*ints_));
     ints_.reset();
   }
@@ -179,11 +179,16 @@ void ColumnData::SwapPayload(ColumnData& other) {
 Value ColumnData::GetValue(size_t row) const {
   JB_CHECK(row < length_);
   if (encoded_) {
-    // Row access on compressed columns is for debugging only; decode the lot.
     if (type_ == TypeId::kFloat64) {
-      return Value::Double(compression::DecodeDoubles(*enc_dbls_)[row]);
+      // Row access on compressed doubles decodes only the enclosing block.
+      const auto& block = enc_dbls_->blocks[row / compression::kBlockSize];
+      std::vector<double> tmp(block.count);
+      compression::DecodeDoublesBlock(block, tmp.data());
+      return Value::Double(tmp[row % compression::kBlockSize]);
     }
-    int64_t code = compression::DecodeInts(*enc_ints_)[row];
+    int64_t code = compression::UnpackOne(
+        enc_ints_->blocks[row / compression::kBlockSize],
+        row % compression::kBlockSize);
     if (type_ == TypeId::kString) {
       if (code == kNullInt64) return Value::Null(TypeId::kString);
       Value v = Value::Str(dict_->At(code));

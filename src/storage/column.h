@@ -89,6 +89,17 @@ class ColumnData {
   std::shared_ptr<const std::vector<int64_t>> ScanInts() const;
   std::shared_ptr<const std::vector<double>> ScanDoubles() const;
 
+  /// Zero-copy handles on the compressed payload for compressed execution
+  /// (predicate evaluation / hashing directly on codes). Null when the column
+  /// is plain or of the other type.
+  std::shared_ptr<const compression::EncodedInts> EncodedIntsPayload() const {
+    return enc_ints_;
+  }
+  std::shared_ptr<const compression::EncodedDoubles> EncodedDoublesPayload()
+      const {
+    return enc_dbls_;
+  }
+
   /// Replace the payload wholesale (CREATE-style rewrite).
   void ReplaceInts(std::vector<int64_t> values);
   void ReplaceDoubles(std::vector<double> values);
@@ -108,8 +119,8 @@ class ColumnData {
   bool encoded_ = false;
   std::shared_ptr<const std::vector<int64_t>> ints_;
   std::shared_ptr<const std::vector<double>> dbls_;
-  std::unique_ptr<compression::EncodedInts> enc_ints_;
-  std::unique_ptr<compression::EncodedDoubles> enc_dbls_;
+  std::shared_ptr<const compression::EncodedInts> enc_ints_;
+  std::shared_ptr<const compression::EncodedDoubles> enc_dbls_;
   DictionaryPtr dict_;
 };
 

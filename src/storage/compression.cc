@@ -15,7 +15,7 @@ uint8_t BitsNeeded(uint64_t v) {
     ++bits;
     v >>= 1;
   }
-  return bits == 0 ? 1 : bits;
+  return bits;  // 0 for a zero range: constant blocks carry no packed words
 }
 
 }  // namespace
@@ -46,13 +46,15 @@ EncodedInts EncodeInts(const std::vector<int64_t>& values) {
       mx = std::max(mx, values[i]);
     }
     block.reference = mn;
-    uint64_t range = static_cast<uint64_t>(mx - mn);
+    block.max = mx;
+    uint64_t range = static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
     block.bit_width = BitsNeeded(range);
     size_t total_bits = static_cast<size_t>(block.bit_width) * block.count;
     block.words.assign((total_bits + 63) / 64, 0);
     size_t bit_pos = 0;
-    for (size_t i = start; i < end; ++i) {
-      uint64_t delta = static_cast<uint64_t>(values[i] - mn);
+    for (size_t i = start; block.bit_width > 0 && i < end; ++i) {
+      uint64_t delta =
+          static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(mn);
       size_t word = bit_pos >> 6;
       size_t offset = bit_pos & 63;
       block.words[word] |= delta << offset;
@@ -66,24 +68,67 @@ EncodedInts EncodeInts(const std::vector<int64_t>& values) {
   return out;
 }
 
-std::vector<int64_t> DecodeInts(const EncodedInts& enc) {
-  std::vector<int64_t> out;
-  out.reserve(enc.size);
-  for (const auto& block : enc.blocks) {
-    const uint64_t mask = block.bit_width == 64
-                              ? ~0ULL
-                              : ((1ULL << block.bit_width) - 1);
-    size_t bit_pos = 0;
-    for (uint32_t i = 0; i < block.count; ++i) {
-      size_t word = bit_pos >> 6;
-      size_t offset = bit_pos & 63;
-      uint64_t v = block.words[word] >> offset;
-      if (offset + block.bit_width > 64) {
-        v |= block.words[word + 1] << (64 - offset);
+void UnpackBlock(const EncodedInts::Block& block, int64_t* out) {
+  const uint8_t bw = block.bit_width;
+  if (bw == 0) {
+    // Constant block: every value equals the reference, no packed words.
+    for (uint32_t i = 0; i < block.count; ++i) out[i] = block.reference;
+    return;
+  }
+  const uint64_t mask = bw == 64 ? ~0ULL : ((1ULL << bw) - 1);
+  const uint64_t uref = static_cast<uint64_t>(block.reference);
+  const uint64_t* words = block.words.data();
+  if (64 % bw == 0) {
+    // Aligned widths (1,2,4,8,16,32,64): deltas never straddle a word, so
+    // each packed word yields a fixed number of outputs — a branch-free
+    // inner loop the compiler can vectorize.
+    const uint32_t per_word = 64 / bw;
+    uint32_t i = 0;
+    for (size_t w = 0; i + per_word <= block.count; ++w) {
+      uint64_t bits = words[w];
+      for (uint32_t k = 0; k < per_word; ++k) {
+        out[i + k] = static_cast<int64_t>(uref + ((bits >> (k * bw)) & mask));
       }
-      out.push_back(block.reference + static_cast<int64_t>(v & mask));
-      bit_pos += block.bit_width;
+      i += per_word;
     }
+    if (i < block.count) {
+      uint64_t bits = words[i / per_word];
+      for (uint32_t k = 0; i < block.count; ++k, ++i) {
+        out[i] = static_cast<int64_t>(uref + ((bits >> (k * bw)) & mask));
+      }
+    }
+    return;
+  }
+  size_t bit_pos = 0;
+  for (uint32_t i = 0; i < block.count; ++i) {
+    size_t word = bit_pos >> 6;
+    size_t offset = bit_pos & 63;
+    uint64_t v = words[word] >> offset;
+    if (offset + bw > 64) v |= words[word + 1] << (64 - offset);
+    out[i] = static_cast<int64_t>(uref + (v & mask));
+    bit_pos += bw;
+  }
+}
+
+int64_t UnpackOne(const EncodedInts::Block& block, size_t index) {
+  const uint8_t bw = block.bit_width;
+  if (bw == 0) return block.reference;
+  const uint64_t mask = bw == 64 ? ~0ULL : ((1ULL << bw) - 1);
+  size_t bit_pos = index * bw;
+  size_t word = bit_pos >> 6;
+  size_t offset = bit_pos & 63;
+  uint64_t v = block.words[word] >> offset;
+  if (offset + bw > 64) v |= block.words[word + 1] << (64 - offset);
+  return static_cast<int64_t>(static_cast<uint64_t>(block.reference) +
+                              (v & mask));
+}
+
+std::vector<int64_t> DecodeInts(const EncodedInts& enc) {
+  std::vector<int64_t> out(enc.size);
+  size_t pos = 0;
+  for (const auto& block : enc.blocks) {
+    UnpackBlock(block, out.data() + pos);
+    pos += block.count;
   }
   return out;
 }
@@ -121,25 +166,28 @@ EncodedDoubles EncodeDoubles(const std::vector<double>& values) {
   return out;
 }
 
-std::vector<double> DecodeDoubles(const EncodedDoubles& enc) {
-  std::vector<double> out;
-  out.reserve(enc.size);
-  for (const auto& block : enc.blocks) {
-    size_t pos = 0;
-    uint64_t prev = 0;
-    for (uint32_t i = 0; i < block.count; ++i) {
-      JB_CHECK(pos < block.bytes.size());
-      uint8_t nbytes = block.bytes[pos++];
-      uint64_t x = 0;
-      for (uint8_t b = 0; b < nbytes; ++b) {
-        x |= static_cast<uint64_t>(block.bytes[pos++]) << (8 * b);
-      }
-      uint64_t bits = x ^ prev;
-      prev = bits;
-      double v;
-      std::memcpy(&v, &bits, 8);
-      out.push_back(v);
+void DecodeDoublesBlock(const EncodedDoubles::Block& block, double* out) {
+  size_t pos = 0;
+  uint64_t prev = 0;  // the XOR chain resets per block, so blocks decode alone
+  for (uint32_t i = 0; i < block.count; ++i) {
+    JB_CHECK(pos < block.bytes.size());
+    uint8_t nbytes = block.bytes[pos++];
+    uint64_t x = 0;
+    for (uint8_t b = 0; b < nbytes; ++b) {
+      x |= static_cast<uint64_t>(block.bytes[pos++]) << (8 * b);
     }
+    uint64_t bits = x ^ prev;
+    prev = bits;
+    std::memcpy(&out[i], &bits, 8);
+  }
+}
+
+std::vector<double> DecodeDoubles(const EncodedDoubles& enc) {
+  std::vector<double> out(enc.size);
+  size_t pos = 0;
+  for (const auto& block : enc.blocks) {
+    DecodeDoublesBlock(block, out.data() + pos);
+    pos += block.count;
   }
   return out;
 }

@@ -22,9 +22,10 @@ constexpr size_t kBlockSize = 4096;  ///< values per compressed block
 struct EncodedInts {
   struct Block {
     int64_t reference = 0;     ///< frame-of-reference minimum
-    uint8_t bit_width = 0;     ///< bits per packed delta
+    int64_t max = 0;           ///< block maximum (for zone-map skipping)
+    uint8_t bit_width = 0;     ///< bits per packed delta; 0 = constant block
     uint32_t count = 0;        ///< number of values
-    std::vector<uint64_t> words;  ///< bit-packed deltas
+    std::vector<uint64_t> words;  ///< bit-packed deltas (empty when width 0)
   };
   std::vector<Block> blocks;
   size_t size = 0;
@@ -48,8 +49,23 @@ struct EncodedDoubles {
 EncodedInts EncodeInts(const std::vector<int64_t>& values);
 std::vector<int64_t> DecodeInts(const EncodedInts& enc);
 
+/// Block-at-a-time unpack kernel: writes `block.count` values to `out`.
+/// Written so the hot per-word loop auto-vectorizes when the bit width
+/// divides 64 (the common case for small-range data); constant blocks
+/// (bit_width 0) are a fill. This is the late-materialization primitive —
+/// compressed execution decodes only the blocks a query actually touches.
+void UnpackBlock(const EncodedInts::Block& block, int64_t* out);
+
+/// Unpack a single value at `index` within a block without materializing the
+/// rest (used for point lookups on encoded columns).
+int64_t UnpackOne(const EncodedInts::Block& block, size_t index);
+
 EncodedDoubles EncodeDoubles(const std::vector<double>& values);
 std::vector<double> DecodeDoubles(const EncodedDoubles& enc);
+
+/// Decode one double block in isolation (each block resets the XOR chain, so
+/// blocks are independently decodable). Writes `block.count` values to `out`.
+void DecodeDoublesBlock(const EncodedDoubles::Block& block, double* out);
 
 }  // namespace compression
 }  // namespace joinboost

@@ -53,6 +53,13 @@ struct EngineProfile {
   /// execute the raw AST; kept for differential testing (planner_test.cc).
   bool use_planner = true;
 
+  /// Compressed execution: evaluate predicates and hash keys directly on
+  /// encoded columns (dictionary ids, frame-of-reference blocks) and only
+  /// late-materialize the blocks a query actually touches. Results are
+  /// bit-identical to the decode-everything path; off is kept for
+  /// differential testing (§5.3.2 "Compression").
+  bool compressed_exec = true;
+
   // ---- Presets matching the paper's systems ----
 
   /// Commercial columnar, disk-based: compression + WAL-to-disk, no swap.

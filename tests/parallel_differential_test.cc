@@ -67,17 +67,24 @@ std::vector<std::string> RowStrings(const ExecTable& t) {
   return rows;
 }
 
-/// fact(k1, k2, x0, y) with k1 over-ranging d1's key set (LEFT/ANTI joins
-/// produce genuine null-extended rows) and d1 carrying duplicate keys
-/// (multi-match probe order is part of the determinism contract).
-void BuildDiffTables(Database* db, uint64_t seed, size_t rows) {
+/// fact(k1, k2, cat, x0, y) with k1 over-ranging d1's key set (LEFT/ANTI
+/// joins produce genuine null-extended rows) and d1 carrying duplicate keys
+/// (multi-match probe order is part of the determinism contract). cat is a
+/// low-cardinality string column so dictionary-translated predicates are in
+/// the fuzzed surface. `load` registers through the storage profile, so
+/// compressed profiles get genuinely encoded payloads (the encoded-vs-
+/// decoded axis needs that; the original axes keep plain storage).
+void BuildDiffTables(Database* db, uint64_t seed, size_t rows,
+                     bool load = false) {
   Rng rng(seed);
   const int64_t kK1Range = 30, kD1Keys = 17, kK2Range = 11;
   std::vector<int64_t> k1(rows), k2(rows);
+  std::vector<std::string> cat(rows);
   std::vector<double> x0(rows), y(rows);
   for (size_t i = 0; i < rows; ++i) {
     k1[i] = rng.NextInt(0, kK1Range - 1);
     k2[i] = rng.NextInt(0, kK2Range - 1);
+    cat[i] = "c" + std::to_string(rng.NextInt(0, 11));
     x0[i] = rng.NextDouble() * 10;
     y[i] = 3.0 * x0[i] + static_cast<double>(k1[i]) -
            2.0 * static_cast<double>(k2[i]) + rng.NextGaussian();
@@ -98,16 +105,22 @@ void BuildDiffTables(Database* db, uint64_t seed, size_t rows) {
     d2k.push_back(k);
     f2.push_back(static_cast<double>(rng.NextInt(1, 1000)));
   }
-  db->RegisterTable(TableBuilder("fact")
-                        .AddInts("k1", k1)
-                        .AddInts("k2", k2)
-                        .AddDoubles("x0", x0)
-                        .AddDoubles("y", y)
-                        .Build());
-  db->RegisterTable(
-      TableBuilder("d1").AddInts("k1", d1k).AddDoubles("f1", f1).Build());
-  db->RegisterTable(
-      TableBuilder("d2").AddInts("k2", d2k).AddDoubles("f2", f2).Build());
+  auto reg = [&](TablePtr t) {
+    if (load) {
+      db->LoadTable(std::move(t));
+    } else {
+      db->RegisterTable(std::move(t));
+    }
+  };
+  reg(TableBuilder("fact")
+          .AddInts("k1", k1)
+          .AddInts("k2", k2)
+          .AddStrings("cat", cat)
+          .AddDoubles("x0", x0)
+          .AddDoubles("y", y)
+          .Build());
+  reg(TableBuilder("d1").AddInts("k1", d1k).AddDoubles("f1", f1).Build());
+  reg(TableBuilder("d2").AddInts("k2", d2k).AddDoubles("f2", f2).Build());
 }
 
 EngineProfile DiffProfile(bool use_planner, int threads) {
@@ -191,6 +204,14 @@ GenQuery GenerateQuery(uint64_t seed) {
       "fact.x0 BETWEEN 2 AND " + std::to_string(rng.NextInt(4, 9)),
       "fact.k2 IN (1, 3, 5, " + std::to_string(rng.NextInt(6, 9)) + ")",
       "NOT fact.k1 = " + std::to_string(rng.NextInt(0, 29)),
+      // Dictionary-translated string predicates (equality-class only: code
+      // comparison and string comparison agree there, so row-mode engines
+      // stay comparable). 'c12'/'c13' miss the dictionary on purpose.
+      "fact.cat = 'c" + std::to_string(rng.NextInt(0, 13)) + "'",
+      "fact.cat <> 'c" + std::to_string(rng.NextInt(0, 11)) + "'",
+      "fact.cat IN ('c1', 'c5', 'nope', 'c" +
+          std::to_string(rng.NextInt(0, 13)) + "')",
+      "fact.cat NOT IN ('c2', 'c" + std::to_string(rng.NextInt(0, 13)) + "')",
   };
   if (d1_cols && !d1_left) {
     preds.push_back("d1.f1 >= " + std::to_string(rng.NextInt(1, 900)));
@@ -462,6 +483,140 @@ TEST_F(ParallelDifferentialTest, SemiAntiJoinsMatchAcrossConfigs) {
       EXPECT_EQ(results[0], results[i]) << "config " << i;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Encoded-vs-decoded axis: compressed execution forced ON/OFF over
+// identically encoded storage, crossed with {planner on/off} x {1, N
+// threads}. Within one planner mode all four (cexec, threads) combinations
+// must produce bit-identical row sequences; across planner modes the usual
+// ordered-exact / multiset contract applies. Reuses JB_DIFF_SEED /
+// JB_DIFF_COUNT, so the nightly deep fuzz widens this axis automatically.
+// ---------------------------------------------------------------------------
+
+EngineProfile CompressedDiffProfile(bool cexec, bool use_planner,
+                                    int threads) {
+  EngineProfile p = DiffProfile(use_planner, threads);
+  p.compressed_exec = cexec;
+  return p;
+}
+
+class CompressedDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 6000;
+  struct Engine {
+    bool cexec;
+    bool planner;
+    int threads;
+    std::unique_ptr<Database> db;
+  };
+
+  void SetUp() override {
+    for (bool cexec : {true, false}) {
+      for (bool planner : {true, false}) {
+        for (int threads : {1, 4}) {
+          engines_.push_back({cexec, planner, threads,
+                              std::make_unique<Database>(CompressedDiffProfile(
+                                  cexec, planner, threads))});
+          // LoadTable applies the storage profile: payloads are genuinely
+          // bit-packed / dictionary-encoded in every engine; only the
+          // execution strategy differs.
+          BuildDiffTables(engines_.back().db.get(), /*seed=*/97, kRows,
+                          /*load=*/true);
+        }
+      }
+    }
+  }
+
+  void CheckQuery(const GenQuery& q) {
+    std::vector<std::vector<std::string>> rows(engines_.size());
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      rows[i] = RowStrings(*engines_[i].db->Query(q.sql));
+    }
+    // Same planner mode => exact row-sequence equality, regardless of
+    // compressed execution or thread count.
+    int planner_ref = -1, raw_ref = -1;
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      int& ref = engines_[i].planner ? planner_ref : raw_ref;
+      if (ref < 0) {
+        ref = static_cast<int>(i);
+        continue;
+      }
+      EXPECT_EQ(rows[static_cast<size_t>(ref)], rows[i])
+          << "cexec=" << engines_[i].cexec
+          << " planner=" << engines_[i].planner
+          << " threads=" << engines_[i].threads
+          << " diverged from cexec=" << engines_[static_cast<size_t>(ref)].cexec
+          << " threads=" << engines_[static_cast<size_t>(ref)].threads;
+    }
+    ASSERT_GE(planner_ref, 0);
+    ASSERT_GE(raw_ref, 0);
+    auto a = rows[static_cast<size_t>(planner_ref)];
+    auto b = rows[static_cast<size_t>(raw_ref)];
+    if (!q.ordered) {
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+    }
+    EXPECT_EQ(a, b) << "planner on/off differ";
+  }
+
+  std::vector<Engine> engines_;
+};
+
+TEST_F(CompressedDifferentialTest, EncodedAndDecodedExecutionAreBitIdentical) {
+  uint64_t base_seed = 0x436F6D7072ULL;  // distinct from the other axes
+  if (const char* env = std::getenv("JB_DIFF_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  size_t count = 48;
+  if (const char* env = std::getenv("JB_DIFF_COUNT")) {
+    count = std::strtoull(env, nullptr, 0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t seed = base_seed + i;
+    GenQuery q = GenerateQuery(seed);
+    SCOPED_TRACE("replay: JB_DIFF_SEED=" + std::to_string(seed) +
+                 " JB_DIFF_COUNT=1 | seed " + std::to_string(seed) + " | " +
+                 q.sql);
+    CheckQuery(q);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[parallel_differential] FAILING ENCODED-AXIS SEED: %llu\n"
+                   "[parallel_differential] replay with: JB_DIFF_SEED=%llu "
+                   "JB_DIFF_COUNT=1\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+  // The decompress-avoidance counters are canonical: after an identical
+  // query stream they must agree bit-for-bit across thread counts, be
+  // positive where compressed execution ran, and stay zero where it was
+  // forced off.
+  std::vector<plan::PlanStats> snap;
+  for (const Engine& e : engines_) snap.push_back(e.db->PlanStatsTotals());
+  int on1 = -1, onN = -1;
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    const Engine& e = engines_[i];
+    if (!e.cexec) {
+      EXPECT_EQ(snap[i].cells_decompress_avoided, 0u)
+          << "cexec OFF engine skipped decode work";
+      EXPECT_EQ(snap[i].blocks_skipped, 0u);
+    } else if (e.planner) {
+      (e.threads > 1 ? onN : on1) = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(on1, 0);
+  ASSERT_GE(onN, 0);
+  const plan::PlanStats& s1 = snap[static_cast<size_t>(on1)];
+  const plan::PlanStats& sN = snap[static_cast<size_t>(onN)];
+  EXPECT_GT(s1.cells_decompress_avoided, 0u)
+      << "compressed execution never avoided a decode: lowering broken?";
+  EXPECT_GT(s1.blocks_skipped, 0u);
+  EXPECT_EQ(s1.cells_decompress_avoided, sN.cells_decompress_avoided)
+      << "avoided-cells counter depends on thread count";
+  EXPECT_EQ(s1.blocks_skipped, sN.blocks_skipped);
+  EXPECT_EQ(s1.cells_decompressed, sN.cells_decompressed);
 }
 
 // ---------------------------------------------------------------------------
