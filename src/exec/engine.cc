@@ -194,13 +194,24 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
 
   ExecTable current;
   if (profile_.use_planner) {
+    plan::PlannerContext pctx;
+    if (profile_.cost_based_planner) {
+      pctx.stats = &stats_mgr_;
+      pctx.cache = &plan_cache_;
+    }
     plan::LogicalPlan lp =
         plan::PlanSelect(stmt, catalog_, /*for_explain=*/false,
-                         parallel_policy());
+                         parallel_policy(), &pctx);
     ++local.queries_planned;
     local.predicates_pushed += lp.predicates_pushed;
     local.constants_folded += lp.constants_folded;
     if (lp.joins_reordered) ++local.joins_reordered;
+    if (lp.joins_reordered_dp) ++local.joins_reordered_dp;
+    if (lp.plan_cache == 1) {
+      ++local.plan_cache_hits;
+    } else if (lp.plan_cache == 0) {
+      ++local.plan_cache_misses;
+    }
     current = ExecutePlanNode(*lp.data_root, octx, ectx);
   } else {
     current = RunFromWhere(stmt, octx, ectx);
@@ -214,8 +225,44 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
 }
 
 std::string Database::ExplainSelect(const sql::SelectStmt& stmt) {
+  // EXPLAIN uses stats (so estimates match execution) but never the plan
+  // cache: the hit/miss counters stay a pure record of executed queries.
+  plan::PlannerContext pctx;
+  if (profile_.cost_based_planner) pctx.stats = &stats_mgr_;
   plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/true,
-                                          parallel_policy());
+                                          parallel_policy(), &pctx);
+  return plan::Explain(lp);
+}
+
+std::string Database::ExplainAnalyzeSelect(const sql::SelectStmt& stmt) {
+  plan::PlanStats local;
+  OpContext octx;
+  octx.row_mode = !profile_.columnar_exec;
+  octx.threads = exec_threads_;
+  octx.pool = pool_.get();
+  octx.interop_scan = profile_.dataframe_interop;
+  octx.stats = &local;
+  octx.morsel_rows = profile_.morsel_rows;
+  octx.parallel_threshold = profile_.parallel_threshold_rows;
+  octx.compressed_exec = profile_.compressed_exec && profile_.compression;
+
+  EvalContext ectx;
+  ectx.run_subquery = [this](const sql::SelectStmt& sub) {
+    return RunSelect(sub);
+  };
+
+  // Plan with stats but without the cache (same policy as ExplainSelect), on
+  // the execution plan shape (for_explain=false) so the tree we annotate is
+  // the tree we run.
+  plan::PlannerContext pctx;
+  if (profile_.cost_based_planner) pctx.stats = &stats_mgr_;
+  plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/false,
+                                          parallel_policy(), &pctx);
+  ExecTable current = ExecutePlanNode(*lp.data_root, octx, ectx);
+  ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
+  if (lp.root) lp.root->actual_rows = static_cast<double>(out.rows);
+  // Re-render through the EXPLAIN tree builder: PlanSelect(for_explain) would
+  // re-plan and lose the recorded actuals, so render this plan directly.
   return plan::Explain(lp);
 }
 
@@ -229,7 +276,8 @@ plan::ParallelPolicy Database::parallel_policy() const {
 
 std::shared_ptr<ExecTable> Database::ExecuteExplain(
     const sql::Statement& stmt) {
-  std::string text = ExplainSelect(*stmt.select);
+  std::string text = stmt.analyze ? ExplainAnalyzeSelect(*stmt.select)
+                                  : ExplainSelect(*stmt.select);
   auto dict = std::make_shared<Dictionary>();
   std::vector<int64_t> codes;
   std::istringstream lines(text);
@@ -244,6 +292,7 @@ std::shared_ptr<ExecTable> Database::ExecuteExplain(
 
 ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
                                     EvalContext& ectx) {
+  ExecTable result = [&]() -> ExecTable {
   switch (op.kind) {
     case plan::OpKind::kScan: {
       TablePtr base = catalog_.Get(op.table);
@@ -287,6 +336,10 @@ ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
     default:
       JB_THROW("logical operator is not executable in the data section");
   }
+  }();
+  // EXPLAIN ANALYZE: record observed output rows on the (mutable) plan node.
+  op.actual_rows = static_cast<double>(result.rows);
+  return result;
 }
 
 ExecTable Database::RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,

@@ -8,7 +8,9 @@
 #include "exec/operators.h"
 #include "exec/vector.h"
 #include "plan/logical_plan.h"
+#include "plan/plan_cache.h"
 #include "sql/ast.h"
+#include "stats/stats_manager.h"
 #include "storage/catalog.h"
 #include "storage/engine_profile.h"
 #include "storage/mvcc.h"
@@ -56,6 +58,10 @@ class Database {
 
   /// Plan a SELECT and render its operator tree (the EXPLAIN statement).
   std::string ExplainSelect(const sql::SelectStmt& stmt);
+
+  /// EXPLAIN ANALYZE: plan, execute, and render the tree with per-operator
+  /// actual row counts next to the estimates.
+  std::string ExplainAnalyzeSelect(const sql::SelectStmt& stmt);
 
   /// Intra-query thread budget after clamping to the pool size.
   int exec_threads() const { return exec_threads_; }
@@ -127,6 +133,12 @@ class Database {
 
   mutable std::mutex stats_mu_;
   plan::PlanStats plan_stats_;
+
+  /// Lazy per-column statistics (cost-based planner). Thread-safe; entries
+  /// are invalidated by ColumnData version bumps and table replacement.
+  stats::StatsManager stats_mgr_;
+  /// Normalized-shape plan cache (join-order decisions, literals stripped).
+  plan::PlanCache plan_cache_;
 };
 
 }  // namespace exec

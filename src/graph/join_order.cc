@@ -1,0 +1,76 @@
+#include "graph/join_order.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace joinboost {
+namespace graph {
+
+namespace {
+
+double ApplyClause(double left_rows, const JoinOrderClause& c) {
+  if (c.semi_or_anti) return std::max(1.0, left_rows * c.selectivity);
+  return std::max(1.0, left_rows * c.rows * c.selectivity);
+}
+
+}  // namespace
+
+JoinOrderResult EnumerateJoinOrder(
+    double anchor_rows, const std::vector<JoinOrderClause>& clauses) {
+  JoinOrderResult result;
+  const size_t m = clauses.size();
+  if (m == 0 || m > kMaxDpClauses) return result;
+  const size_t full = (size_t{1} << m) - 1;
+
+  // card[S]: estimated rows after joining exactly the clauses in S onto the
+  // anchor. Order-independent, so computed once per subset from any member.
+  std::vector<double> card(full + 1, 0);
+  card[0] = std::max(1.0, anchor_rows);
+  for (size_t s = 1; s <= full; ++s) {
+    const int j = __builtin_ctzll(s);
+    card[s] = ApplyClause(card[s & (s - 1)], clauses[static_cast<size_t>(j)]);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);
+  cost[0] = 0;
+  for (size_t s = 0; s < full; ++s) {
+    if (cost[s] == kInf) continue;
+    for (size_t j = 0; j < m; ++j) {
+      if (s & (size_t{1} << j)) continue;
+      bool feasible = true;
+      for (int need : clauses[j].needs) {
+        const size_t bit = size_t{1} << need;
+        if (!(s & bit) || clauses[static_cast<size_t>(need)].semi_or_anti) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      const size_t t = s | (size_t{1} << j);
+      const double cand = cost[s] + card[t];
+      // Strict improvement only: with ascending subset and clause loops the
+      // first optimal predecessor wins, giving the lowest-index tie-break.
+      if (cand < cost[t]) {
+        cost[t] = cand;
+        last[t] = static_cast<int>(j);
+      }
+    }
+  }
+  if (cost[full] == kInf) return result;
+
+  result.valid = true;
+  result.cost = cost[full];
+  size_t s = full;
+  while (s != 0) {
+    const int j = last[s];
+    result.order.push_back(j);
+    s &= ~(size_t{1} << j);
+  }
+  std::reverse(result.order.begin(), result.order.end());
+  return result;
+}
+
+}  // namespace graph
+}  // namespace joinboost

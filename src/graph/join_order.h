@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace joinboost {
+namespace graph {
+
+/// One join clause feeding the DP enumerator: a relation joined onto the
+/// growing left side. The anchor relation (the planner's FROM relation, kept
+/// as the probe anchor for determinism) is implicit and always available.
+struct JoinOrderClause {
+  /// Post-filter cardinality estimate of the joined relation.
+  double rows = 1;
+  /// Join selectivity. Inner joins: the output estimate is
+  /// left_rows * rows * selectivity (from 1/max(ndv_l, ndv_r) per key pair).
+  /// Semi/anti joins: the fraction of left rows that survive the filter
+  /// (from min(1, ndv_right/ndv_left) per key pair; 0.5 heuristic fallback),
+  /// so the output estimate is left_rows * selectivity.
+  double selectivity = 1;
+  /// Semi/anti joins filter the left side and never make their relation's
+  /// columns available to later join conditions.
+  bool semi_or_anti = false;
+  /// Clause ids (indices into the clause vector) whose relations this
+  /// clause's ON condition references; references to the anchor are implied
+  /// and must not be listed. A clause is placeable only when every listed
+  /// clause is already placed as an inner join.
+  std::vector<int> needs;
+};
+
+struct JoinOrderResult {
+  bool valid = false;       ///< false: no feasible complete order (or > cap)
+  std::vector<int> order;   ///< clause ids in chosen execution sequence
+  double cost = 0;          ///< sum of intermediate-result cardinalities
+};
+
+/// Exhaustive clause-count cap: beyond this the 2^n subset DP is not worth
+/// its memory and the caller falls back to the greedy ordering.
+constexpr size_t kMaxDpClauses = 12;
+
+/// Subset-DP join enumeration (DPsub over the connected subgraphs reachable
+/// from the anchor): minimizes the sum of intermediate cardinalities over
+/// all feasible permutations of the join clauses. Cardinalities are
+/// order-independent (the per-clause factors commute), so a single card[S]
+/// per subset is exact. Ties break deterministically toward the
+/// lowest-index clause sequence. Returns !valid when clauses is empty,
+/// exceeds kMaxDpClauses, or no complete feasible order exists.
+JoinOrderResult EnumerateJoinOrder(double anchor_rows,
+                                   const std::vector<JoinOrderClause>& clauses);
+
+}  // namespace graph
+}  // namespace joinboost

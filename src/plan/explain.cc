@@ -27,7 +27,10 @@ std::string Explain(const LogicalPlan& plan) {
     if (plan.constants_folded > 0) {
       os << " folded=" << plan.constants_folded;
     }
-    if (plan.joins_reordered) os << " joins-reordered";
+    if (plan.joins_reordered) {
+      os << (plan.joins_reordered_dp ? " joins-reordered-dp"
+                                     : " joins-reordered");
+    }
     os << "\n";
   }
   return os.str();
@@ -48,6 +51,9 @@ std::string FormatStats(const PlanStats& s) {
      << "predicates_pushed  " << s.predicates_pushed << "\n"
      << "constants_folded   " << s.constants_folded << "\n"
      << "joins_reordered    " << s.joins_reordered << "\n"
+     << "joins_reordered_dp " << s.joins_reordered_dp << "\n"
+     << "plan_cache hit/miss " << s.plan_cache_hits << " / "
+     << s.plan_cache_misses << "\n"
      << "morsels disp/stole " << s.morsels_dispatched << " / "
      << s.morsels_stolen << "\n"
      << "multi_aggs/sets    " << s.multi_aggs << " / " << s.grouping_sets

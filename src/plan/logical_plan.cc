@@ -18,6 +18,13 @@ void AppendRows(const LogicalOp& op, std::ostream& os) {
   os << "rows~" << static_cast<long long>(std::llround(op.est_rows));
 }
 
+/// EXPLAIN ANALYZE: observed output rows, recorded by the executor. Plain
+/// EXPLAIN never executes, so actual_rows stays -1 and nothing is printed.
+void AppendActual(const LogicalOp& op, std::ostream& os) {
+  if (op.actual_rows < 0) return;
+  os << ", act=" << static_cast<long long>(std::llround(op.actual_rows));
+}
+
 void AppendCols(const LogicalOp& op, std::ostream& os) {
   os << ", cols=";
   if (op.est_cols < 0) {
@@ -78,6 +85,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       if (op.base_rows >= 0) {
         os << "/" << static_cast<long long>(std::llround(op.base_rows));
       }
+      AppendActual(op, os);
       os << ", cols=" << (op.pruned ? op.columns.size() : op.table_columns)
          << "/" << op.table_columns;
       AppendDop(op, os);
@@ -89,6 +97,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       if (op.filter) os << " filter=" << sql::ToSql(*op.filter);
       os << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendCols(op, os);
       os << ")";
       break;
@@ -98,6 +107,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       if (op.filter) os << " residual=" << sql::ToSql(*op.filter);
       os << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendCols(op, os);
       AppendDop(op, os);
       os << ")";
@@ -106,6 +116,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       os << "Filter " << (op.filter ? sql::ToSql(*op.filter) : "TRUE");
       os << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendDop(op, os);
       os << ")";
       break;
@@ -125,6 +136,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       if (op.stmt->having) os << " having=" << sql::ToSql(*op.stmt->having);
       os << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendCols(op, os);
       AppendDop(op, os);
       os << ")";
@@ -144,6 +156,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       os << "]";
       os << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendCols(op, os);
       AppendDop(op, os);
       os << ")";
@@ -152,6 +165,7 @@ std::string OperatorLabel(const LogicalOp& op) {
     case OpKind::kWindow:
       os << "Window (";
       AppendRows(op, os);
+      AppendActual(op, os);
       os << ")";
       break;
     case OpKind::kProject: {
@@ -162,6 +176,7 @@ std::string OperatorLabel(const LogicalOp& op) {
       }
       os << "] (";
       AppendRows(op, os);
+      AppendActual(op, os);
       AppendCols(op, os);
       os << ")";
       break;
@@ -169,6 +184,7 @@ std::string OperatorLabel(const LogicalOp& op) {
     case OpKind::kDistinct:
       os << "Distinct (";
       AppendRows(op, os);
+      AppendActual(op, os);
       os << ")";
       break;
     case OpKind::kSort: {
@@ -180,12 +196,14 @@ std::string OperatorLabel(const LogicalOp& op) {
       }
       os << "] (";
       AppendRows(op, os);
+      AppendActual(op, os);
       os << ")";
       break;
     }
     case OpKind::kLimit:
       os << "Limit " << op.stmt->limit << " (";
       AppendRows(op, os);
+      AppendActual(op, os);
       os << ")";
       break;
   }

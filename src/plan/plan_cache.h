@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace joinboost {
+namespace plan {
+
+/// The planning decision memoized per normalized query shape: the join-clause
+/// execution order (indices into the planner's relation vector, excluding the
+/// anchor at 0). The cheap lowering (pushdown, pruning, folding) still runs
+/// on every query — what a cache hit skips is the expensive part: statistics
+/// lookups and DP join enumeration.
+struct CachedPlan {
+  std::vector<size_t> order;  ///< rel indices 1..n in execution sequence
+  bool reordered = false;     ///< order differs from the written order
+  bool reordered_dp = false;  ///< order was chosen by DP enumeration
+};
+
+/// Plan cache keyed on normalized plan shape. ShapeKey maps table names to
+/// slot ids by first appearance (the trainer's temp tables get fresh names
+/// per materialization — jb_tmp_1, jb_tmp_2, ... — yet repeat the same query
+/// shapes hundreds of times per train) plus a per-table schema fingerprint,
+/// and strips literals to '?' in parameter positions only: a literal
+/// compared against a column-bearing expression, or an IN-list element whose
+/// probe bears a column. Literals anywhere else (both-sides-literal
+/// comparisons, bare AND/OR operands) keep their values, because constant
+/// folding short-circuits on them and two different values could produce
+/// different plan shapes.
+class PlanCache {
+ public:
+  static std::string ShapeKey(const sql::SelectStmt& stmt,
+                              const Catalog& catalog);
+
+  /// True + *out filled on hit. Thread-safe.
+  bool Lookup(const std::string& key, CachedPlan* out) const;
+
+  /// Memoize the decision for `key` (idempotent for a deterministic planner;
+  /// stops inserting at kMaxEntries to bound memory).
+  void Insert(const std::string& key, CachedPlan plan);
+
+  size_t size() const;
+  void Clear();
+
+  static constexpr size_t kMaxEntries = 4096;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CachedPlan> map_;
+};
+
+}  // namespace plan
+}  // namespace joinboost

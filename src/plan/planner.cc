@@ -4,9 +4,13 @@
 #include <string>
 #include <unordered_map>
 
+#include "graph/join_order.h"
 #include "plan/logical_plan.h"
+#include "plan/plan_cache.h"
 #include "sql/expr_util.h"
 #include "sql/printer.h"
+#include "stats/selectivity.h"
+#include "stats/stats_manager.h"
 
 namespace joinboost {
 namespace plan {
@@ -117,18 +121,88 @@ bool ConditionRels(const sql::ExprPtr& cond, const std::vector<RelInfo>& rels,
   return true;
 }
 
-double FilteredEstimate(const RelInfo& rel) {
+/// Post-filter cardinality estimate. With statistics available, each pushed
+/// conjunct is estimated from the column's histogram (falling back to the
+/// heuristic for unsupported shapes); without, the heuristic selectivities
+/// apply. Feeding the *post-filter* estimate into join ordering is what
+/// makes a heavily-filtered big table order before an unfiltered small one.
+double FilteredEstimate(const RelInfo& rel, stats::StatsManager* mgr) {
   if (rel.base_rows < 0) return -1;
   double sel = 1.0;
-  for (const auto& p : rel.pushed) sel *= EstimateSelectivity(*p);
+  for (const auto& p : rel.pushed) {
+    double s = -1;
+    if (mgr && rel.base && rel.tbl) {
+      s = stats::ConjunctSelectivity(*p, rel.tbl, mgr);
+    }
+    if (s < 0) s = EstimateSelectivity(*p);
+    sel *= s;
+  }
   return std::max(1.0, rel.base_rows * sel);
+}
+
+/// Distinct count of a join-key column; when statistics cannot answer
+/// (subquery relations, missing tables), assume the key is unique on that
+/// side — the dominant shape here (dimension / message joins are N-to-1).
+double KeyDistinct(const RelInfo& rel, const std::string& column,
+                   stats::StatsManager* mgr) {
+  double ndv = -1;
+  if (rel.base && rel.tbl) ndv = stats::JoinKeyDistinct(rel.tbl, column, mgr);
+  if (ndv < 0) ndv = rel.est;
+  return std::max(1.0, ndv);
+}
+
+/// Join selectivity of clause `self` from distinct counts.
+///
+/// Inner joins: each equi key pair contributes 1 / max(ndv_left, ndv_right)
+/// to the |L| x |R| cross product. Semi joins *filter* the left side: the
+/// fraction of left rows whose key appears on the right is about
+/// min(1, ndv_right / ndv_left) per key pair (the trainer's selector
+/// messages carry exactly the surviving key set, so this is near-exact
+/// there); anti joins keep the complement. Residual conjuncts contribute
+/// their heuristic selectivity either way.
+double JoinSelectivity(const RelInfo& rel, const std::vector<RelInfo>& rels,
+                       size_t self, stats::StatsManager* mgr) {
+  const bool filtering = rel.jtype == sql::JoinType::kSemi ||
+                         rel.jtype == sql::JoinType::kAnti;
+  std::vector<sql::ExprPtr> conjuncts;
+  SplitConjuncts(rel.condition, &conjuncts);
+  double sel = 1.0;
+  for (const auto& c : conjuncts) {
+    bool handled = false;
+    if (c->kind == sql::ExprKind::kBinary && c->op == "=" &&
+        c->args[0]->kind == sql::ExprKind::kColumnRef &&
+        c->args[1]->kind == sql::ExprKind::kColumnRef) {
+      int a = ResolveRef(*c->args[0], rels);
+      int b = ResolveRef(*c->args[1], rels);
+      if (a >= 0 && b >= 0 && a != b) {
+        double nda = KeyDistinct(rels[static_cast<size_t>(a)],
+                                 c->args[0]->column, mgr);
+        double ndb = KeyDistinct(rels[static_cast<size_t>(b)],
+                                 c->args[1]->column, mgr);
+        if (filtering) {
+          // Put the clause's own relation on the "right" of the fraction.
+          double nd_self = a == static_cast<int>(self) ? nda : ndb;
+          double nd_other = a == static_cast<int>(self) ? ndb : nda;
+          sel *= std::min(1.0, nd_self / std::max(1.0, nd_other));
+        } else {
+          sel /= std::max(nda, ndb);
+        }
+        handled = true;
+      }
+    }
+    if (!handled) sel *= EstimateSelectivity(*c);
+  }
+  if (rel.jtype == sql::JoinType::kAnti) {
+    sel = std::min(1.0, std::max(0.0, 1.0 - sel));
+  }
+  return sel;
 }
 
 LogicalOpPtr MakeScan(const RelInfo& rel, const Catalog& catalog,
                       const std::unordered_map<std::string,
                                                std::set<std::string>>& needed,
                       bool prune_enabled, bool for_explain,
-                      const ParallelPolicy& parallel) {
+                      const ParallelPolicy& parallel, PlannerContext* ctx) {
   auto op = std::make_shared<LogicalOp>();
   op->qualifier = rel.qualifier;
   op->est_rows = rel.est;
@@ -159,7 +233,7 @@ LogicalOpPtr MakeScan(const RelInfo& rel, const Catalog& catalog,
       // Explain-only child; normal execution plans the nested SELECT inside
       // its own RunSelect, so don't pay for a throwaway plan there.
       LogicalPlan sub = PlanSelect(*rel.ref->subquery, catalog,
-                                   /*for_explain=*/true, parallel);
+                                   /*for_explain=*/true, parallel, ctx);
       if (sub.root) {
         op->children.push_back(sub.root);
         op->est_rows = sub.root->est_rows;
@@ -218,10 +292,29 @@ int CountWindows(const sql::SelectStmt& stmt) {
 }  // namespace
 
 LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
-                       bool for_explain, const ParallelPolicy& parallel) {
+                       bool for_explain, const ParallelPolicy& parallel,
+                       PlannerContext* ctx) {
   LogicalPlan plan;
   plan.stmt = &stmt;
   int folds = 0;
+  const bool cost_based = ctx && ctx->stats != nullptr;
+
+  // Plan-cache consult: the normalized shape key matches the trainer's
+  // repeated message/histogram queries across temp-table renames and
+  // parameter (literal) changes. A hit reuses the memoized join order and
+  // skips statistics lookups and DP enumeration below; the cheap lowering
+  // always runs. EXPLAIN never touches the cache (counters stay those of
+  // real execution).
+  std::string cache_key;
+  CachedPlan cached;
+  bool have_cached = false;
+  if (ctx && ctx->cache && !for_explain) {
+    cache_key = PlanCache::ShapeKey(stmt, catalog);
+    have_cached = ctx->cache->Lookup(cache_key, &cached);
+    plan.plan_cache = have_cached ? 1 : 0;
+  }
+  stats::StatsManager* stats_mgr =
+      cost_based && !have_cached ? ctx->stats : nullptr;
 
   bool select_star = false;
   for (const auto& item : stmt.select_list) {
@@ -243,6 +336,9 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       filt->est_rows = EstimateSelectivity(*filt->filter) >= 1.0 ? 1 : 0;
       filt->est_cols = 0;
       plan.data_root = filt;
+    }
+    if (ctx && ctx->cache && !for_explain && !have_cached) {
+      ctx->cache->Insert(cache_key, CachedPlan());
     }
   } else {
     // Relations: FROM + every JOIN clause.
@@ -286,7 +382,7 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
         post_filters.push_back(std::move(folded));
       }
     }
-    for (auto& rel : rels) rel.est = FilteredEstimate(rel);
+    for (auto& rel : rels) rel.est = FilteredEstimate(rel, stats_mgr);
 
     // Projection pruning: a scan only materializes (and decompresses)
     // columns referenced anywhere in the statement. Qualified refs pin one
@@ -342,10 +438,9 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       }
     }
 
-    // Greedy join reordering: keep the FROM relation as the probe anchor and
-    // order the join clauses smallest-estimate-first among the clauses whose
-    // conditions are satisfied by the already-joined relations. Left joins
-    // and statically unresolvable conditions keep the written order.
+    // Join reordering: keep the FROM relation as the probe anchor (that
+    // pins execution-order determinism) and permute the join clauses. Left
+    // joins and statically unresolvable conditions keep the written order.
     std::vector<size_t> order;  // indices into rels, excluding 0
     for (size_t j = 1; j < rels.size(); ++j) order.push_back(j);
     // SELECT * exposes the physical column order, which reordering changes.
@@ -360,49 +455,121 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
         reorderable = false;
       }
     }
+
+    // Statistics-based join selectivities for the DP cost model and the
+    // join-output estimates below.
+    std::vector<double> join_sel(rels.size(), 1.0);
+    if (stats_mgr) {
+      for (size_t j = 1; j < rels.size(); ++j) {
+        join_sel[j] = JoinSelectivity(rels[j], rels, j, stats_mgr);
+      }
+    }
+
     if (reorderable) {
-      std::set<int> available = {0};
       std::vector<size_t> chosen;
-      std::vector<bool> placed(rels.size(), false);
-      while (chosen.size() < order.size()) {
-        size_t best = 0;
-        bool found = false;
-        for (size_t j = 1; j < rels.size(); ++j) {
-          if (placed[j]) continue;
-          bool ok = true;
+      bool from_dp = false;
+      if (have_cached && cached.order.size() == order.size()) {
+        // Replay the memoized order after re-validating feasibility against
+        // this statement (the shape key guarantees it, but stay defensive).
+        std::set<int> available = {0};
+        std::vector<bool> seen(rels.size(), false);
+        bool ok = true;
+        for (size_t j : cached.order) {
+          if (j == 0 || j >= rels.size() || seen[j]) {
+            ok = false;
+            break;
+          }
           for (int r : cond_rels[j]) {
             if (r != static_cast<int>(j) && !available.count(r)) ok = false;
           }
-          if (!ok) continue;
-          if (!found || rels[j].est < rels[best].est) {
-            best = j;
-            found = true;
+          if (!ok) break;
+          seen[j] = true;
+          if (rels[j].jtype == sql::JoinType::kInner) {
+            available.insert(static_cast<int>(j));
           }
         }
-        if (!found) break;  // disconnected under this anchor: keep as written
-        placed[best] = true;
-        chosen.push_back(best);
-        if (rels[best].jtype == sql::JoinType::kInner) {
-          available.insert(static_cast<int>(best));
+        if (ok) {
+          chosen = cached.order;
+          from_dp = cached.reordered_dp;
+        }
+      }
+      if (chosen.empty() && stats_mgr &&
+          order.size() <= graph::kMaxDpClauses) {
+        // Subset-DP enumeration minimizing the sum of intermediate
+        // cardinalities. Clause k stands for rels[k + 1].
+        std::vector<graph::JoinOrderClause> clauses(order.size());
+        for (size_t j = 1; j < rels.size(); ++j) {
+          graph::JoinOrderClause& c = clauses[j - 1];
+          c.rows = rels[j].est;
+          c.selectivity = join_sel[j];
+          c.semi_or_anti = rels[j].jtype != sql::JoinType::kInner;
+          for (int r : cond_rels[j]) {
+            if (r != 0 && r != static_cast<int>(j)) c.needs.push_back(r - 1);
+          }
+        }
+        graph::JoinOrderResult res =
+            graph::EnumerateJoinOrder(rels[0].est, clauses);
+        if (res.valid) {
+          for (int k : res.order) chosen.push_back(static_cast<size_t>(k) + 1);
+          from_dp = true;
+        }
+      }
+      if (chosen.empty()) {
+        // Greedy fallback (also the reference when cost_based is off):
+        // smallest post-filter estimate first among the feasible clauses.
+        std::set<int> available = {0};
+        std::vector<bool> placed(rels.size(), false);
+        while (chosen.size() < order.size()) {
+          size_t best = 0;
+          bool found = false;
+          for (size_t j = 1; j < rels.size(); ++j) {
+            if (placed[j]) continue;
+            bool ok = true;
+            for (int r : cond_rels[j]) {
+              if (r != static_cast<int>(j) && !available.count(r)) ok = false;
+            }
+            if (!ok) continue;
+            if (!found || rels[j].est < rels[best].est) {
+              best = j;
+              found = true;
+            }
+          }
+          if (!found) {  // disconnected under this anchor: keep as written
+            chosen.clear();
+            break;
+          }
+          placed[best] = true;
+          chosen.push_back(best);
+          if (rels[best].jtype == sql::JoinType::kInner) {
+            available.insert(static_cast<int>(best));
+          }
         }
       }
       if (chosen.size() == order.size() && chosen != order) {
         order = std::move(chosen);
         plan.joins_reordered = true;
+        if (from_dp) plan.joins_reordered_dp = true;
       }
+    }
+    if (ctx && ctx->cache && !for_explain && !have_cached) {
+      CachedPlan entry;
+      entry.order = order;
+      entry.reordered = plan.joins_reordered;
+      entry.reordered_dp = plan.joins_reordered_dp;
+      ctx->cache->Insert(cache_key, std::move(entry));
     }
 
     // Build the data-section tree: scans, joins in chosen order, leftover
     // multi-relation filters on top.
     LogicalOpPtr current =
         MakeScan(rels[0], catalog, needed, prune_enabled, for_explain,
-                 parallel);
+                 parallel, ctx);
     double est = current->est_rows;
     int cols = current->est_cols;
     for (size_t oi : order) {
       const RelInfo& rel = rels[oi];
-      LogicalOpPtr right =
-          MakeScan(rel, catalog, needed, prune_enabled, for_explain, parallel);
+      LogicalOpPtr right = MakeScan(rel, catalog, needed, prune_enabled,
+                                    for_explain, parallel, ctx);
       auto join = std::make_shared<LogicalOp>();
       join->kind = OpKind::kJoin;
       join->join_type = rel.jtype;
@@ -410,9 +577,14 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       join->children = {current, right};
       switch (rel.jtype) {
         case sql::JoinType::kInner:
-          join->est_rows = (est < 0 || right->est_rows < 0)
-                               ? -1
-                               : std::max(est, right->est_rows);
+          // With statistics: |L ⨝ R| = |L| · |R| · Π 1/max(ndv_l, ndv_r).
+          // Without: the pre-cost-model upper-bound heuristic.
+          join->est_rows =
+              (est < 0 || right->est_rows < 0)
+                  ? -1
+                  : (stats_mgr ? std::max(1.0, est * right->est_rows *
+                                                   join_sel[oi])
+                               : std::max(est, right->est_rows));
           join->est_cols = (cols < 0 || right->est_cols < 0)
                                ? -1
                                : cols + right->est_cols;
@@ -425,7 +597,11 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
           break;
         case sql::JoinType::kSemi:
         case sql::JoinType::kAnti:
-          join->est_rows = est < 0 ? -1 : std::max(1.0, est * 0.5);
+          // With statistics the filter fraction comes from the key distinct
+          // counts (see JoinSelectivity); the heuristic halves.
+          join->est_rows =
+              est < 0 ? -1
+                      : std::max(1.0, est * (stats_mgr ? join_sel[oi] : 0.5));
           join->est_cols = cols;
           break;
       }

@@ -191,6 +191,7 @@ struct Statement {
   std::string table;  ///< target of CREATE/UPDATE/DROP
   bool if_exists = false;
   bool or_replace = false;
+  bool analyze = false;  ///< EXPLAIN ANALYZE: execute and show actual rows
 
   // kUpdate
   std::vector<std::pair<std::string, ExprPtr>> set_items;

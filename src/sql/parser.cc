@@ -35,7 +35,7 @@ const std::unordered_set<std::string>& Keywords() {
       "CASE",   "WHEN",   "THEN",   "ELSE",   "END",    "CREATE", "TABLE",
       "UPDATE", "SET",    "DROP",   "IF",     "EXISTS", "DESC",   "ASC",
       "OVER",   "PARTITION", "HAVING", "DISTINCT", "REPLACE", "BETWEEN",
-      "EXPLAIN", "GROUPING", "SETS",
+      "EXPLAIN", "ANALYZE", "GROUPING", "SETS",
   };
   return kw;
 }
@@ -158,6 +158,7 @@ class Parser {
       stmt.select = ParseSelect();
     } else if (AcceptKeyword("EXPLAIN")) {
       stmt.kind = Statement::Kind::kExplain;
+      stmt.analyze = AcceptKeyword("ANALYZE");
       stmt.select = ParseSelect();
     } else if (AcceptKeyword("CREATE")) {
       if (AcceptKeyword("OR")) {

@@ -226,7 +226,7 @@ std::string ToSql(const Statement& stmt) {
       PrintSelect(*stmt.select, os);
       break;
     case Statement::Kind::kExplain:
-      os << "EXPLAIN ";
+      os << "EXPLAIN " << (stmt.analyze ? "ANALYZE " : "");
       PrintSelect(*stmt.select, os);
       break;
     case Statement::Kind::kCreateTableAs:

@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+namespace joinboost {
+namespace stats {
+
+EqualNumElementsHistogram EqualNumElementsHistogram::Build(
+    const std::vector<std::pair<double, size_t>>& distinct_counts,
+    size_t max_buckets) {
+  EqualNumElementsHistogram h;
+  if (distinct_counts.empty() || max_buckets == 0) return h;
+  const size_t num_distinct = distinct_counts.size();
+  const size_t num_buckets = std::min(max_buckets, num_distinct);
+  // Distribute distincts as evenly as integer division allows: the first
+  // (num_distinct % num_buckets) buckets take one extra value.
+  const size_t base = num_distinct / num_buckets;
+  const size_t extra = num_distinct % num_buckets;
+  size_t pos = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    const size_t take = base + (b < extra ? 1 : 0);
+    Bucket bucket;
+    bucket.min = distinct_counts[pos].first;
+    bucket.max = distinct_counts[pos + take - 1].first;
+    bucket.distinct = static_cast<double>(take);
+    for (size_t i = 0; i < take; ++i) {
+      bucket.count += static_cast<double>(distinct_counts[pos + i].second);
+    }
+    pos += take;
+    h.total_rows_ += bucket.count;
+    h.buckets_.push_back(bucket);
+  }
+  h.total_distinct_ = static_cast<double>(num_distinct);
+  return h;
+}
+
+double EqualNumElementsHistogram::EstimateEq(double v) const {
+  // Binary search for the bucket whose range may contain v.
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), v,
+      [](const Bucket& b, double value) { return b.max < value; });
+  if (it == buckets_.end() || v < it->min) return 0;
+  return it->distinct > 0 ? it->count / it->distinct : 0;
+}
+
+double EqualNumElementsHistogram::EstimateBelow(double v) const {
+  double rows = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.max < v) {
+      rows += b.count;
+      continue;
+    }
+    if (v <= b.min) break;
+    // v falls strictly inside (min, max]: linear interpolation over the
+    // value range, excluding (approximately) the rows equal to v itself.
+    const double width = b.max - b.min;
+    const double frac = width > 0 ? (v - b.min) / width : 0;
+    rows += b.count * frac;
+    break;
+  }
+  return rows;
+}
+
+}  // namespace stats
+}  // namespace joinboost

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace joinboost {
+namespace stats {
+
+/// Equal-num-elements histogram (Hyrise's
+/// abstract_equal_num_elements_histogram): the sorted distinct values of a
+/// column are split into up to `max_buckets` buckets holding (near-)equal
+/// numbers of *distinct* values. Each bucket records its value range, row
+/// count and distinct count, so the per-value density inside a bucket is
+/// count / distinct. When the column has no more distinct values than
+/// buckets, every distinct value gets its own bucket and point estimates are
+/// exact.
+///
+/// Values are doubles: int64 and dictionary-code columns are histogrammed
+/// over the exact integer values (codes for strings, where only equality
+/// classes are meaningful), float columns over their values. NULLs are
+/// excluded; the caller tracks the null count separately.
+class EqualNumElementsHistogram {
+ public:
+  struct Bucket {
+    double min = 0;       ///< smallest distinct value in the bucket
+    double max = 0;       ///< largest distinct value in the bucket
+    double count = 0;     ///< rows whose value falls in [min, max]
+    double distinct = 0;  ///< distinct values in [min, max]
+  };
+
+  /// Build from (distinct value, row count) pairs sorted ascending by value.
+  static EqualNumElementsHistogram Build(
+      const std::vector<std::pair<double, size_t>>& distinct_counts,
+      size_t max_buckets);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  double total_rows() const { return total_rows_; }
+  double total_distinct() const { return total_distinct_; }
+
+  /// Estimated rows with value == v. Exact when each distinct value has its
+  /// own bucket; otherwise the bucket's average per-value density.
+  double EstimateEq(double v) const;
+
+  /// Estimated rows with value < v: full buckets below v plus a linear
+  /// interpolation inside the bucket containing v.
+  double EstimateBelow(double v) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  double total_rows_ = 0;
+  double total_distinct_ = 0;
+};
+
+}  // namespace stats
+}  // namespace joinboost

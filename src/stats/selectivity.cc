@@ -1,0 +1,156 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <string>
+
+namespace joinboost {
+namespace stats {
+
+namespace {
+
+bool IsLiteral(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::kIntLiteral ||
+         e.kind == sql::ExprKind::kFloatLiteral ||
+         e.kind == sql::ExprKind::kStringLiteral;
+}
+
+double NumericValue(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::kFloatLiteral
+             ? e.float_val
+             : static_cast<double>(e.int_val);
+}
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// Estimated fraction of rows matching <col> cmp <literal>, or -1.
+double CompareSelectivity(const ColumnStats& s, const std::string& op,
+                          const sql::Expr& lit, bool flipped) {
+  if (s.row_count == 0) return 0;
+  const double rows = static_cast<double>(s.row_count);
+  if (lit.kind == sql::ExprKind::kStringLiteral) {
+    // Dictionary columns: only equality classes are meaningful on codes.
+    if (op != "=" && op != "<>") return -1;
+    if (!s.dict) return -1;
+    int64_t code = s.dict->Find(lit.str_val);
+    double eq = code == kNullInt64
+                    ? 0
+                    : s.histogram.EstimateEq(static_cast<double>(code));
+    return Clamp01(op == "=" ? eq / rows
+                             : (rows - s.null_count - eq) / rows);
+  }
+  double v = NumericValue(lit);
+  // Normalize `lit cmp col` to `col cmp' lit`.
+  std::string cmp = op;
+  if (flipped) {
+    if (op == "<") cmp = ">";
+    else if (op == "<=") cmp = ">=";
+    else if (op == ">") cmp = "<";
+    else if (op == ">=") cmp = "<=";
+  }
+  const double eq = s.histogram.EstimateEq(v);
+  const double below = s.histogram.EstimateBelow(v);
+  const double non_null = rows - static_cast<double>(s.null_count);
+  double matched = 0;
+  if (cmp == "=") matched = eq;
+  else if (cmp == "<>") matched = non_null - eq;
+  else if (cmp == "<") matched = below;
+  else if (cmp == "<=") matched = below + eq;
+  else if (cmp == ">") matched = non_null - below - eq;
+  else if (cmp == ">=") matched = non_null - below;
+  else return -1;
+  return Clamp01(matched / rows);
+}
+
+double InListSelectivity(const ColumnStats& s, const sql::Expr& e) {
+  if (s.row_count == 0) return 0;
+  const double rows = static_cast<double>(s.row_count);
+  double matched = 0;
+  for (size_t i = 1; i < e.args.size(); ++i) {
+    const sql::Expr& lit = *e.args[i];
+    if (!IsLiteral(lit)) return -1;
+    if (lit.kind == sql::ExprKind::kStringLiteral) {
+      if (!s.dict) return -1;
+      int64_t code = s.dict->Find(lit.str_val);
+      if (code != kNullInt64) {
+        matched += s.histogram.EstimateEq(static_cast<double>(code));
+      }
+    } else {
+      matched += s.histogram.EstimateEq(NumericValue(lit));
+    }
+  }
+  double sel = Clamp01(matched / rows);
+  if (e.negated) {
+    sel = Clamp01((rows - static_cast<double>(s.null_count)) / rows - sel);
+  }
+  return sel;
+}
+
+}  // namespace
+
+double ConjunctSelectivity(const sql::Expr& e, const TablePtr& table,
+                           StatsManager* mgr) {
+  if (!table || !mgr) return -1;
+  switch (e.kind) {
+    case sql::ExprKind::kBinary: {
+      if (e.op == "AND" || e.op == "OR") {
+        double a = ConjunctSelectivity(*e.args[0], table, mgr);
+        double b = ConjunctSelectivity(*e.args[1], table, mgr);
+        if (a < 0 || b < 0) return -1;
+        return e.op == "AND" ? a * b : Clamp01(a + b);
+      }
+      const sql::Expr& lhs = *e.args[0];
+      const sql::Expr& rhs = *e.args[1];
+      const sql::Expr* col = nullptr;
+      const sql::Expr* lit = nullptr;
+      bool flipped = false;
+      if (lhs.kind == sql::ExprKind::kColumnRef && IsLiteral(rhs)) {
+        col = &lhs;
+        lit = &rhs;
+      } else if (rhs.kind == sql::ExprKind::kColumnRef && IsLiteral(lhs)) {
+        col = &rhs;
+        lit = &lhs;
+        flipped = true;
+      } else {
+        return -1;
+      }
+      ColumnStatsPtr s = mgr->Get(table, col->column);
+      if (!s) return -1;
+      return CompareSelectivity(*s, e.op, *lit, flipped);
+    }
+    case sql::ExprKind::kUnary: {
+      if (e.op != "NOT") return -1;
+      double a = ConjunctSelectivity(*e.args[0], table, mgr);
+      return a < 0 ? -1 : 1.0 - a;
+    }
+    case sql::ExprKind::kInList: {
+      if (e.args.empty() || e.args[0]->kind != sql::ExprKind::kColumnRef) {
+        return -1;
+      }
+      ColumnStatsPtr s = mgr->Get(table, e.args[0]->column);
+      if (!s) return -1;
+      return InListSelectivity(*s, e);
+    }
+    case sql::ExprKind::kIsNull: {
+      if (e.args.empty() || e.args[0]->kind != sql::ExprKind::kColumnRef) {
+        return -1;
+      }
+      ColumnStatsPtr s = mgr->Get(table, e.args[0]->column);
+      if (!s) return -1;
+      double nf = s->null_fraction();
+      return e.negated ? 1.0 - nf : nf;
+    }
+    default:
+      return -1;
+  }
+}
+
+double JoinKeyDistinct(const TablePtr& table, const std::string& column,
+                       StatsManager* mgr) {
+  if (!table || !mgr) return -1;
+  ColumnStatsPtr s = mgr->Get(table, column);
+  if (!s) return -1;
+  return static_cast<double>(s->distinct_count);
+}
+
+}  // namespace stats
+}  // namespace joinboost

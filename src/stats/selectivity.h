@@ -1,0 +1,25 @@
+#pragma once
+
+#include "sql/ast.h"
+#include "stats/stats_manager.h"
+#include "storage/table.h"
+
+namespace joinboost {
+namespace stats {
+
+/// Histogram-based selectivity of one single-relation predicate conjunct
+/// over `table`, in [0, 1]. Supported shapes: <col> cmp <literal> (numeric
+/// ranges and equality; string equality via the dictionary), [NOT] IN
+/// literal lists, IS [NOT] NULL, and AND/OR/NOT combinations thereof.
+/// Returns -1 when the shape is not estimable from statistics — the caller
+/// falls back to the heuristic plan::EstimateSelectivity.
+double ConjunctSelectivity(const sql::Expr& e, const TablePtr& table,
+                           StatsManager* mgr);
+
+/// Distinct count of `table`.`column` for join-output estimation, or -1
+/// when unavailable.
+double JoinKeyDistinct(const TablePtr& table, const std::string& column,
+                       StatsManager* mgr);
+
+}  // namespace stats
+}  // namespace joinboost

@@ -1,0 +1,93 @@
+#include "stats/stats_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace joinboost {
+namespace stats {
+
+namespace {
+
+std::vector<std::pair<double, size_t>> DistinctCounts(
+    std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, size_t>> out;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    out.emplace_back(values[i], j - i);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+ColumnStats StatsManager::BuildColumnStats(const ColumnData& col) {
+  ColumnStats s;
+  s.row_count = col.size();
+  std::vector<double> values;
+  values.reserve(col.size());
+  if (col.type() == TypeId::kFloat64) {
+    for (double v : col.DecodeDoubles()) {
+      if (IsNullFloat64(v)) {
+        ++s.null_count;
+      } else {
+        values.push_back(v);
+      }
+    }
+  } else {
+    // Int columns use their values; string columns their dictionary codes.
+    for (int64_t v : col.DecodeInts()) {
+      if (v == kNullInt64) {
+        ++s.null_count;
+      } else {
+        values.push_back(static_cast<double>(v));
+      }
+    }
+    s.dict = col.dict();
+  }
+  auto distinct = DistinctCounts(std::move(values));
+  s.distinct_count = distinct.size();
+  if (!distinct.empty()) {
+    s.min = distinct.front().first;
+    s.max = distinct.back().first;
+  }
+  s.histogram = EqualNumElementsHistogram::Build(distinct, kMaxBuckets);
+  return s;
+}
+
+ColumnStatsPtr StatsManager::Get(const TablePtr& table, size_t column_index) {
+  if (!table || column_index >= table->num_columns()) return nullptr;
+  const ColumnPtr& col = table->column(column_index);
+  const std::string& col_name = table->schema().field(column_index).name;
+  std::pair<std::string, std::string> key(table->name(), col_name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.identity == col.get() &&
+        it->second.version == col->version()) {
+      return it->second.stats;
+    }
+  }
+  // Build outside the lock: statistics construction decodes and sorts the
+  // column, which can be expensive.
+  Entry fresh;
+  fresh.identity = col.get();
+  fresh.version = col->version();
+  fresh.stats = std::make_shared<const ColumnStats>(BuildColumnStats(*col));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[key] = fresh;
+  return fresh.stats;
+}
+
+ColumnStatsPtr StatsManager::Get(const TablePtr& table,
+                                 const std::string& column) {
+  if (!table) return nullptr;
+  int idx = table->schema().FieldIndex(column);
+  if (idx < 0) return nullptr;
+  return Get(table, static_cast<size_t>(idx));
+}
+
+}  // namespace stats
+}  // namespace joinboost

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "stats/histogram.h"
+#include "storage/table.h"
+
+namespace joinboost {
+namespace stats {
+
+/// Per-column statistics: row/null/distinct counts plus an
+/// equal-num-elements histogram over the non-null values (dictionary codes
+/// for string columns — equality classes only, range estimates fall back to
+/// heuristics there).
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+  double min = 0;  ///< smallest non-null value (codes for strings)
+  double max = 0;  ///< largest non-null value
+  EqualNumElementsHistogram histogram;
+  DictionaryPtr dict;  ///< string columns: literal -> code lookup
+
+  double null_fraction() const {
+    return row_count == 0
+               ? 0
+               : static_cast<double>(null_count) / static_cast<double>(row_count);
+  }
+};
+
+using ColumnStatsPtr = std::shared_ptr<const ColumnStats>;
+
+/// Lazy column-statistics cache. Statistics are built on first planner use
+/// (a real decode + sort over the column) and invalidated automatically when
+/// the column's payload identity or version changes — UPDATEs bump the
+/// version, CREATE TABLE AS replaces the table (new ColumnData pointers),
+/// and column swap bumps both swapped columns.
+class StatsManager {
+ public:
+  static constexpr size_t kMaxBuckets = 100;
+
+  /// Statistics for `table`.`column_index`; nullptr when the index is out of
+  /// range. Thread-safe; concurrent callers may both build, last one wins
+  /// (the builds are identical).
+  ColumnStatsPtr Get(const TablePtr& table, size_t column_index);
+
+  /// Convenience overload resolving by column name (nullptr when absent).
+  ColumnStatsPtr Get(const TablePtr& table, const std::string& column);
+
+  /// Builds (uncached) statistics for one column — exposed for tests.
+  static ColumnStats BuildColumnStats(const ColumnData& col);
+
+ private:
+  struct Entry {
+    const ColumnData* identity = nullptr;
+    uint64_t version = 0;
+    ColumnStatsPtr stats;
+  };
+
+  std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, Entry> cache_;
+};
+
+}  // namespace stats
+}  // namespace joinboost

@@ -147,6 +147,7 @@ void ColumnData::ReplaceInts(std::vector<int64_t> values) {
   ints_ = std::make_shared<const std::vector<int64_t>>(std::move(values));
   enc_ints_.reset();
   encoded_ = false;
+  ++version_;
 }
 
 void ColumnData::ReplaceDoubles(std::vector<double> values) {
@@ -155,6 +156,7 @@ void ColumnData::ReplaceDoubles(std::vector<double> values) {
   dbls_ = std::make_shared<const std::vector<double>>(std::move(values));
   enc_dbls_.reset();
   encoded_ = false;
+  ++version_;
 }
 
 size_t ColumnData::ByteSize() const {
@@ -174,6 +176,8 @@ void ColumnData::SwapPayload(ColumnData& other) {
   std::swap(enc_ints_, other.enc_ints_);
   std::swap(enc_dbls_, other.enc_dbls_);
   std::swap(dict_, other.dict_);
+  ++version_;
+  ++other.version_;
 }
 
 Value ColumnData::GetValue(size_t row) const {

@@ -66,6 +66,12 @@ class ColumnData {
   bool encoded() const { return encoded_; }
   const DictionaryPtr& dict() const { return dict_; }
 
+  /// Monotonic payload version: bumped by every value-changing mutation
+  /// (ReplaceInts/ReplaceDoubles/SwapPayload). Encode/Decode keep the version
+  /// — they change representation, not values. Statistics caches pair this
+  /// with the column's identity to detect staleness.
+  uint64_t version() const { return version_; }
+
   /// Compress the payload (real CPU cost). No-op when already encoded.
   void Encode();
 
@@ -117,6 +123,7 @@ class ColumnData {
   TypeId type_ = TypeId::kInt64;
   size_t length_ = 0;
   bool encoded_ = false;
+  uint64_t version_ = 0;
   std::shared_ptr<const std::vector<int64_t>> ints_;
   std::shared_ptr<const std::vector<double>> dbls_;
   std::shared_ptr<const compression::EncodedInts> enc_ints_;

@@ -53,6 +53,14 @@ struct EngineProfile {
   /// execute the raw AST; kept for differential testing (planner_test.cc).
   bool use_planner = true;
 
+  /// Cost-based planning: lazy per-column statistics (equal-num-elements
+  /// histograms), histogram selectivity estimates, DP join enumeration and
+  /// the normalized-shape plan cache. Off falls back to the heuristic
+  /// greedy reorder with no cache — kept as the differential reference
+  /// (results are bit-identical either way; only join orders and the
+  /// plan_cache/joins_reordered_dp counters differ).
+  bool cost_based_planner = true;
+
   /// Compressed execution: evaluate predicates and hash keys directly on
   /// encoded columns (dictionary ids, frame-of-reference blocks) and only
   /// late-materialize the blocks a query actually touches. Results are

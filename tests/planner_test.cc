@@ -278,12 +278,15 @@ TEST_F(PlannerExplainTest, MessageQueryGolden) {
   std::string text = ExplainText(
       "EXPLAIN SELECT fact.k1, SUM(fact.s * m.c) AS s FROM fact "
       "JOIN m ON fact.k1 = m.k1 WHERE fact.x0 > 0.5 GROUP BY fact.k1");
+  // The fact scan estimate is exact (rows~5: the histogram sees 5 of 8 rows
+  // with x0 > 0.5), and the join estimate uses 1/max(ndv) on the key:
+  // 5 * 3 / max(3, 3) = 5.
   EXPECT_EQ(text,
             "Project [k1, s] (rows~1, cols=2)\n"
             "  Aggregate keys=[fact.k1] aggs=1 (rows~1, cols=2)\n"
-            "    Join INNER on (fact.k1 = m.k1) (rows~3, cols=5)\n"
+            "    Join INNER on (fact.k1 = m.k1) (rows~5, cols=5)\n"
             "      Scan fact [k1, s, x0] filter=(fact.x0 > 0.5) "
-            "(rows~2/8, cols=3/4)\n"
+            "(rows~5/8, cols=3/4)\n"
             "      Scan m [k1, c] (rows~3/3, cols=2/3)\n"
             "-- rules: pushed=1\n");
 }
@@ -293,12 +296,15 @@ TEST_F(PlannerExplainTest, SelectorQueryGolden) {
   std::string text = ExplainText(
       "EXPLAIN SELECT DISTINCT fact.k1 FROM fact "
       "SEMI JOIN sel ON fact.k1 = sel.k1 WHERE fact.x0 > 0.5");
+  // Histogram-exact fact estimate (5 of 8 rows pass x0 > 0.5); the semi join
+  // filters by key coverage ndv(sel.k1)/ndv(fact.k1) = 2/3: 5 * 2/3 rounds
+  // to 3, and DISTINCT halves that to ~2 (the true distinct count).
   EXPECT_EQ(text,
-            "Distinct (rows~1)\n"
-            "  Project [k1] (rows~1, cols=1)\n"
-            "    Join SEMI on (fact.k1 = sel.k1) (rows~1, cols=2)\n"
+            "Distinct (rows~2)\n"
+            "  Project [k1] (rows~3, cols=1)\n"
+            "    Join SEMI on (fact.k1 = sel.k1) (rows~3, cols=2)\n"
             "      Scan fact [k1, x0] filter=(fact.x0 > 0.5) "
-            "(rows~2/8, cols=2/4)\n"
+            "(rows~5/8, cols=2/4)\n"
             "      Scan sel [*] (rows~2/2, cols=1/1)\n"
             "-- rules: pushed=1\n");
 }
@@ -314,6 +320,85 @@ TEST_F(PlannerExplainTest, TotalAggregateGolden) {
             "    Join INNER on (fact.k1 = m.k1) (rows~8, cols=4)\n"
             "      Scan fact [k1, s] (rows~8/8, cols=2/4)\n"
             "      Scan m [k1, c] (rows~3/3, cols=2/3)\n");
+}
+
+TEST_F(PlannerExplainTest, ExplainAnalyzeGolden) {
+  // EXPLAIN ANALYZE executes the plan and annotates the data-section nodes
+  // (and the root) with observed row counts next to the estimates. The
+  // filter keeps 5 of 8 fact rows; 3 distinct k1 groups survive.
+  std::string text = ExplainText(
+      "EXPLAIN ANALYZE SELECT fact.k1, SUM(fact.s * m.c) AS s FROM fact "
+      "JOIN m ON fact.k1 = m.k1 WHERE fact.x0 > 0.5 GROUP BY fact.k1");
+  EXPECT_EQ(text,
+            "Project [k1, s] (rows~1, act=3, cols=2)\n"
+            "  Aggregate keys=[fact.k1] aggs=1 (rows~1, cols=2)\n"
+            "    Join INNER on (fact.k1 = m.k1) (rows~5, act=5, cols=5)\n"
+            "      Scan fact [k1, s, x0] filter=(fact.x0 > 0.5) "
+            "(rows~5/8, act=5, cols=3/4)\n"
+            "      Scan m [k1, c] (rows~3/3, act=3, cols=2/3)\n"
+            "-- rules: pushed=1\n");
+}
+
+// ---------------------------------------------------------------------------
+// DP join ordering on a 4-relation snowflake: the written order is
+// deliberately suboptimal and the enumerator must move the filtered
+// dimension first. Pins both the chosen order and the cardinality estimates.
+// ---------------------------------------------------------------------------
+
+TEST(SnowflakeExplainTest, DpReordersFilteredDimensionFirst) {
+  Database db(EngineProfile::DSwap());
+  const size_t kRows = 1000;
+  std::vector<int64_t> k1(kRows), k2(kRows), k3(kRows);
+  std::vector<double> v(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    k1[i] = static_cast<int64_t>(i % 50);
+    k2[i] = static_cast<int64_t>(i % 5);
+    k3[i] = static_cast<int64_t>(i % 200);
+    v[i] = static_cast<double>(i);
+  }
+  db.RegisterTable(TableBuilder("fact")
+                       .AddInts("k1", k1)
+                       .AddInts("k2", k2)
+                       .AddInts("k3", k3)
+                       .AddDoubles("v", v)
+                       .Build());
+  auto dim = [&](const char* name, const char* key, int64_t n) {
+    std::vector<int64_t> k(static_cast<size_t>(n)), a(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      k[static_cast<size_t>(i)] = i;
+      a[static_cast<size_t>(i)] = i;
+    }
+    db.RegisterTable(TableBuilder(name).AddInts(key, k).AddInts("a", a).Build());
+  };
+  dim("d1", "k1", 50);
+  dim("d2", "k2", 5);
+  dim("d3", "k3", 200);
+
+  // Written order d1, d2, d3. The filter reduces d2 to ~1 row, so joining it
+  // first shrinks every later intermediate: cost(d2,d1,d3) = 200+200+200
+  // versus cost(d1,d2,d3) = 1000+200+200. Ties after d2 break toward the
+  // lowest-index clause (d1 before d3).
+  auto t = db.Query(
+      "EXPLAIN SELECT SUM(fact.v) AS s FROM fact "
+      "JOIN d1 ON fact.k1 = d1.k1 "
+      "JOIN d2 ON fact.k2 = d2.k2 "
+      "JOIN d3 ON fact.k3 = d3.k3 WHERE d2.a = 0");
+  std::string text;
+  for (size_t r = 0; r < t->rows; ++r) {
+    text += t->GetValue(r, 0).s;
+    text += "\n";
+  }
+  EXPECT_EQ(text,
+            "Project [s] (rows~1, cols=1)\n"
+            "  Aggregate keys=[] aggs=1 (rows~1, cols=1)\n"
+            "    Join INNER on (fact.k3 = d3.k3) (rows~200, cols=8)\n"
+            "      Join INNER on (fact.k1 = d1.k1) (rows~200, cols=7)\n"
+            "        Join INNER on (fact.k2 = d2.k2) (rows~200, cols=6)\n"
+            "          Scan fact [*] (rows~1000/1000, cols=4/4)\n"
+            "          Scan d2 [*] filter=(d2.a = 0) (rows~1/5, cols=2/2)\n"
+            "        Scan d1 [k1] (rows~50/50, cols=1/2)\n"
+            "      Scan d3 [k3] (rows~200/200, cols=1/2)\n"
+            "-- rules: pushed=1 joins-reordered-dp\n");
 }
 
 TEST_F(PlannerExplainTest, ExplainTextIsAFixedPointUnderRoundTrip) {

@@ -1,0 +1,675 @@
+// Cost-based optimizer test layer: equal-num-elements histograms, lazy
+// column statistics with version-based invalidation, histogram selectivity
+// estimation, the DP join enumerator, the normalized-shape plan cache, and
+// the end-to-end pin that cost-based planning never changes query or
+// training results — only join orders and the planner counters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "core/train.h"
+#include "data/generators.h"
+#include "exec/engine.h"
+#include "graph/join_order.h"
+#include "joinboost.h"
+#include "plan/plan_cache.h"
+#include "sql/parser.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+#include "stats/stats_manager.h"
+#include "storage/table.h"
+#include "storage/types.h"
+#include "test_util.h"
+
+namespace joinboost {
+namespace {
+
+using exec::Database;
+using stats::ColumnStats;
+using stats::EqualNumElementsHistogram;
+using stats::StatsManager;
+
+// ---------------------------------------------------------------------------
+// Equal-num-elements histograms.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyColumnEstimatesZero) {
+  auto h = EqualNumElementsHistogram::Build({}, 100);
+  EXPECT_TRUE(h.buckets().empty());
+  EXPECT_EQ(h.EstimateEq(1.0), 0);
+  EXPECT_EQ(h.EstimateBelow(1.0), 0);
+  EXPECT_EQ(h.total_rows(), 0);
+}
+
+TEST(HistogramTest, SingleValueColumn) {
+  auto h = EqualNumElementsHistogram::Build({{5.0, 42}}, 100);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.EstimateEq(5.0), 42);
+  EXPECT_EQ(h.EstimateEq(4.0), 0);
+  EXPECT_EQ(h.EstimateEq(6.0), 0);
+  EXPECT_EQ(h.EstimateBelow(5.0), 0);
+  EXPECT_EQ(h.EstimateBelow(6.0), 42);
+  EXPECT_EQ(h.total_rows(), 42);
+  EXPECT_EQ(h.total_distinct(), 1);
+}
+
+TEST(HistogramTest, PointEstimatesAreExactUnderSkewWhenDistinctsFit) {
+  // Heavy skew: value v carries 2^v rows. With D <= max_buckets every
+  // distinct value owns its own bucket, so equality estimates are exact no
+  // matter how skewed the distribution is.
+  std::vector<std::pair<double, size_t>> dc;
+  for (int v = 0; v < 10; ++v) {
+    dc.emplace_back(static_cast<double>(v), static_cast<size_t>(1) << v);
+  }
+  auto h = EqualNumElementsHistogram::Build(dc, 100);
+  EXPECT_EQ(h.buckets().size(), 10u);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_EQ(h.EstimateEq(v), static_cast<double>(size_t{1} << v)) << v;
+  }
+  EXPECT_EQ(h.EstimateEq(3.5), 0);  // between distinct values
+  EXPECT_EQ(h.EstimateBelow(3.0), 1 + 2 + 4);
+  EXPECT_EQ(h.EstimateBelow(100.0), h.total_rows());
+}
+
+TEST(HistogramTest, WideColumnsStayWithinBucketDensityBounds) {
+  // 250 distinct values with alternating 1/9 row counts into 100 buckets:
+  // estimates are per-bucket averages, so every point estimate must stay
+  // within the per-bucket count range, and range estimates stay monotone.
+  std::vector<std::pair<double, size_t>> dc;
+  for (int v = 0; v < 250; ++v) {
+    dc.emplace_back(static_cast<double>(v), (v % 2 == 0) ? 1u : 9u);
+  }
+  auto h = EqualNumElementsHistogram::Build(dc, 100);
+  EXPECT_LE(h.buckets().size(), 100u);
+  double total = 0;
+  for (const auto& b : h.buckets()) {
+    EXPECT_LE(b.min, b.max);
+    EXPECT_GE(b.distinct, 1.0);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.total_rows());
+  EXPECT_EQ(h.total_distinct(), 250);
+  double prev = 0;
+  for (int v = 0; v <= 250; ++v) {
+    double below = h.EstimateBelow(v);
+    EXPECT_GE(below, prev) << "EstimateBelow not monotone at " << v;
+    prev = below;
+    if (v < 250) {
+      double eq = h.EstimateEq(v);
+      EXPECT_GE(eq, 1.0) << v;  // bucket min density
+      EXPECT_LE(eq, 9.0) << v;  // bucket max density
+    }
+  }
+  EXPECT_EQ(h.EstimateBelow(1000.0), h.total_rows());
+}
+
+// ---------------------------------------------------------------------------
+// Column statistics construction.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnStatsTest, AllNullIntColumn) {
+  auto col = ColumnData::MakeInts({kNullInt64, kNullInt64, kNullInt64});
+  ColumnStats s = StatsManager::BuildColumnStats(*col);
+  EXPECT_EQ(s.row_count, 3u);
+  EXPECT_EQ(s.null_count, 3u);
+  EXPECT_EQ(s.distinct_count, 0u);
+  EXPECT_EQ(s.null_fraction(), 1.0);
+  EXPECT_TRUE(s.histogram.buckets().empty());
+}
+
+TEST(ColumnStatsTest, NullDoublesAreExcludedFromTheHistogram) {
+  auto col = ColumnData::MakeDoubles({1.5, NullFloat64(), 2.5, NullFloat64()});
+  ColumnStats s = StatsManager::BuildColumnStats(*col);
+  EXPECT_EQ(s.row_count, 4u);
+  EXPECT_EQ(s.null_count, 2u);
+  EXPECT_EQ(s.distinct_count, 2u);
+  EXPECT_EQ(s.null_fraction(), 0.5);
+  EXPECT_EQ(s.min, 1.5);
+  EXPECT_EQ(s.max, 2.5);
+  EXPECT_EQ(s.histogram.EstimateEq(1.5), 1);
+}
+
+TEST(ColumnStatsTest, StringColumnsHistogramDictionaryCodes) {
+  auto col = ColumnData::MakeStrings({"b", "a", "b", "c", "b"});
+  ColumnStats s = StatsManager::BuildColumnStats(*col);
+  EXPECT_EQ(s.distinct_count, 3u);
+  ASSERT_NE(s.dict, nullptr);
+  int64_t code_b = s.dict->Find("b");
+  ASSERT_NE(code_b, kNullInt64);
+  EXPECT_EQ(s.histogram.EstimateEq(static_cast<double>(code_b)), 3);
+  EXPECT_EQ(s.dict->Find("zzz"), kNullInt64);
+}
+
+TEST(ColumnStatsTest, EncodedColumnsProduceIdenticalStats) {
+  // Frame-of-reference int encoding and dictionary string encoding must not
+  // change statistics: BuildColumnStats decodes values first.
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 500; ++i) vals.push_back(1000 + (i * 7) % 90);
+  auto plain = ColumnData::MakeInts(vals);
+  auto encoded = ColumnData::MakeInts(vals);
+  encoded->Encode();
+  ASSERT_TRUE(encoded->encoded());
+  ColumnStats a = StatsManager::BuildColumnStats(*plain);
+  ColumnStats b = StatsManager::BuildColumnStats(*encoded);
+  EXPECT_EQ(a.row_count, b.row_count);
+  EXPECT_EQ(a.null_count, b.null_count);
+  EXPECT_EQ(a.distinct_count, b.distinct_count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  ASSERT_EQ(a.histogram.buckets().size(), b.histogram.buckets().size());
+  for (int64_t v : {1000, 1033, 1089}) {
+    EXPECT_EQ(a.histogram.EstimateEq(static_cast<double>(v)),
+              b.histogram.EstimateEq(static_cast<double>(v)))
+        << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy statistics cache + invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(StatsManagerTest, StatsAreCachedUntilThePayloadChanges) {
+  TablePtr t = TableBuilder("t").AddInts("x", {1, 2, 3, 4, 5}).Build();
+  StatsManager mgr;
+  auto s1 = mgr.Get(t, "x");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->max, 5);
+  auto s2 = mgr.Get(t, "x");
+  EXPECT_EQ(s1.get(), s2.get()) << "unchanged column rebuilt statistics";
+
+  // ReplaceInts bumps the column version: the cached entry is stale.
+  t->column(size_t{0})->ReplaceInts({10, 20, 30});
+  auto s3 = mgr.Get(t, "x");
+  ASSERT_NE(s3, nullptr);
+  EXPECT_NE(s1.get(), s3.get()) << "version bump did not invalidate";
+  EXPECT_EQ(s3->max, 30);
+  EXPECT_EQ(s3->row_count, 3u);
+}
+
+TEST(StatsManagerTest, TableReplacementInvalidatesByIdentity) {
+  // CREATE OR REPLACE swaps the whole table under the same name: the cache
+  // must notice the new ColumnData identity even at version 0.
+  TablePtr t1 = TableBuilder("t").AddInts("x", {1, 2, 3}).Build();
+  TablePtr t2 = TableBuilder("t").AddInts("x", {7, 8, 9, 10}).Build();
+  StatsManager mgr;
+  auto s1 = mgr.Get(t1, "x");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->max, 3);
+  auto s2 = mgr.Get(t2, "x");
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2->max, 10);
+  EXPECT_EQ(s2->row_count, 4u);
+}
+
+TEST(StatsManagerTest, SwapPayloadInvalidatesBothColumns) {
+  TablePtr t = TableBuilder("t").AddInts("a", {1, 1, 1}).Build();
+  TablePtr u = TableBuilder("u").AddInts("b", {9, 9, 9}).Build();
+  StatsManager mgr;
+  EXPECT_EQ(mgr.Get(t, "a")->max, 1);
+  EXPECT_EQ(mgr.Get(u, "b")->max, 9);
+  t->column(size_t{0})->SwapPayload(*u->column(size_t{0}));
+  EXPECT_EQ(mgr.Get(t, "a")->max, 9);
+  EXPECT_EQ(mgr.Get(u, "b")->max, 1);
+}
+
+TEST(StatsManagerTest, MissingColumnsReturnNull) {
+  TablePtr t = TableBuilder("t").AddInts("x", {1}).Build();
+  StatsManager mgr;
+  EXPECT_EQ(mgr.Get(t, "nope"), nullptr);
+  EXPECT_EQ(mgr.Get(t, size_t{5}), nullptr);
+  EXPECT_EQ(mgr.Get(nullptr, "x"), nullptr);
+}
+
+TEST(StatsManagerTest, EngineUpdatesInvalidateEstimates) {
+  // Through the SQL surface: an UPDATE rewrites the column payload, so the
+  // next EXPLAIN must re-derive its estimate from fresh statistics.
+  Database db(EngineProfile::DSwap());
+  std::vector<int64_t> xs;
+  for (int64_t i = 0; i < 10; ++i) xs.push_back(i);
+  db.RegisterTable(TableBuilder("t").AddInts("x", xs).Build());
+  auto explain_text = [&](const std::string& q) {
+    auto t = db.Query(q);
+    std::string out;
+    for (size_t r = 0; r < t->rows; ++r) {
+      out += t->GetValue(r, 0).s;
+      out += "\n";
+    }
+    return out;
+  };
+  std::string before = explain_text("EXPLAIN SELECT t.x FROM t WHERE t.x > 100");
+  EXPECT_NE(before.find("rows~1/10"), std::string::npos) << before;
+  db.Execute("UPDATE t SET x = 200");
+  std::string after = explain_text("EXPLAIN SELECT t.x FROM t WHERE t.x > 100");
+  EXPECT_NE(after.find("rows~10/10"), std::string::npos) << after;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram selectivity of pushed predicates.
+// ---------------------------------------------------------------------------
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // k: 100 rows uniform over 10 values; x: 0.0 .. 9.9; s: skewed strings.
+    std::vector<int64_t> k;
+    std::vector<double> x;
+    std::vector<std::string> s;
+    for (int i = 0; i < 100; ++i) {
+      k.push_back(i % 10);
+      x.push_back(static_cast<double>(i) / 10.0);
+      s.push_back(i < 90 ? "hot" : "cold");
+    }
+    t_ = TableBuilder("t")
+             .AddInts("k", k)
+             .AddDoubles("x", x)
+             .AddStrings("s", s)
+             .Build();
+  }
+
+  double Sel(const std::string& pred) {
+    sql::Statement stmt = sql::Parse("SELECT t.k FROM t WHERE " + pred);
+    return stats::ConjunctSelectivity(*stmt.select->where, t_, &mgr_);
+  }
+
+  TablePtr t_;
+  StatsManager mgr_;
+};
+
+TEST_F(SelectivityTest, EqualityIsExactOnLowCardinalityColumns) {
+  EXPECT_DOUBLE_EQ(Sel("t.k = 3"), 0.1);
+  EXPECT_DOUBLE_EQ(Sel("t.k = 99"), 0.0);   // absent value
+  EXPECT_DOUBLE_EQ(Sel("t.k <> 3"), 0.9);
+}
+
+TEST_F(SelectivityTest, RangesInterpolate) {
+  EXPECT_DOUBLE_EQ(Sel("t.k < 5"), 0.5);
+  EXPECT_DOUBLE_EQ(Sel("t.k <= 4"), 0.5);
+  EXPECT_DOUBLE_EQ(Sel("t.k >= 5"), 0.5);
+  EXPECT_NEAR(Sel("t.x < 5.0"), 0.5, 0.02);
+  // Flipped comparisons normalize: 5 > t.k  ==  t.k < 5.
+  EXPECT_DOUBLE_EQ(Sel("5 > t.k"), 0.5);
+}
+
+TEST_F(SelectivityTest, StringEqualityUsesTheDictionary) {
+  EXPECT_DOUBLE_EQ(Sel("t.s = 'hot'"), 0.9);
+  EXPECT_DOUBLE_EQ(Sel("t.s = 'cold'"), 0.1);
+  EXPECT_DOUBLE_EQ(Sel("t.s = 'absent'"), 0.0);
+  EXPECT_DOUBLE_EQ(Sel("t.s <> 'hot'"), 0.1);
+}
+
+TEST_F(SelectivityTest, InListsSumPerValueEstimates) {
+  EXPECT_DOUBLE_EQ(Sel("t.k IN (1, 2, 3)"), 0.3);
+  EXPECT_DOUBLE_EQ(Sel("t.k NOT IN (1, 2, 3)"), 0.7);
+  EXPECT_DOUBLE_EQ(Sel("t.k IN (77, 88)"), 0.0);
+}
+
+TEST_F(SelectivityTest, NullPredicates) {
+  EXPECT_DOUBLE_EQ(Sel("t.k IS NULL"), 0.0);  // no NULLs in the column
+  EXPECT_DOUBLE_EQ(Sel("t.k IS NOT NULL"), 1.0);
+}
+
+TEST_F(SelectivityTest, ConjunctionsAndDisjunctionsCombine) {
+  EXPECT_DOUBLE_EQ(Sel("t.k = 3 AND t.k < 5"), 0.05);
+  EXPECT_DOUBLE_EQ(Sel("t.k = 3 OR t.k = 4"), 0.2);
+  EXPECT_DOUBLE_EQ(Sel("NOT t.k = 3"), 0.9);
+}
+
+TEST_F(SelectivityTest, UnsupportedShapesFallBackToHeuristics) {
+  EXPECT_EQ(Sel("t.k = t.k"), -1.0);           // no literal side
+  EXPECT_EQ(Sel("t.k + 1 = 3"), -1.0);          // computed column side
+  EXPECT_EQ(Sel("t.missing = 3"), -1.0);        // unknown column
+  // Strings support only equality classes — ranges are not estimable.
+  EXPECT_EQ(Sel("t.s < 'hot'"), -1.0);
+}
+
+TEST_F(SelectivityTest, JoinKeyDistinctCounts) {
+  EXPECT_EQ(stats::JoinKeyDistinct(t_, "k", &mgr_), 10);
+  EXPECT_EQ(stats::JoinKeyDistinct(t_, "missing", &mgr_), -1);
+}
+
+// ---------------------------------------------------------------------------
+// DP join enumeration.
+// ---------------------------------------------------------------------------
+
+TEST(JoinOrderTest, PicksTheCheapestFeasibleOrder) {
+  // anchor 1000 rows; A: neutral (50 rows, 1/50), B: selective dimension
+  // (1 row, 1/5), C: neutral (200 rows, 1/200). Joining B first shrinks
+  // every later intermediate: best order is B, A, C.
+  std::vector<graph::JoinOrderClause> clauses(3);
+  clauses[0].rows = 50;
+  clauses[0].selectivity = 1.0 / 50;
+  clauses[1].rows = 1;
+  clauses[1].selectivity = 1.0 / 5;
+  clauses[2].rows = 200;
+  clauses[2].selectivity = 1.0 / 200;
+  graph::JoinOrderResult r = graph::EnumerateJoinOrder(1000, clauses);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.order, (std::vector<int>{1, 0, 2}));
+  EXPECT_DOUBLE_EQ(r.cost, 200 + 200 + 200);
+}
+
+TEST(JoinOrderTest, DependenciesForceOrder) {
+  // Clause 1 references clause 0's relation: even though 1 is far cheaper,
+  // it cannot be placed before 0.
+  std::vector<graph::JoinOrderClause> clauses(2);
+  clauses[0].rows = 100;
+  clauses[0].selectivity = 1.0;
+  clauses[1].rows = 1;
+  clauses[1].selectivity = 0.001;
+  clauses[1].needs = {0};
+  graph::JoinOrderResult r = graph::EnumerateJoinOrder(10, clauses);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.order, (std::vector<int>{0, 1}));
+}
+
+TEST(JoinOrderTest, SemiJoinsNeverSatisfyDependencies) {
+  // Clause 0 is a semi join: its columns vanish from the output, so clause 1
+  // referencing them can never be placed — no feasible complete order.
+  std::vector<graph::JoinOrderClause> clauses(2);
+  clauses[0].rows = 10;
+  clauses[0].semi_or_anti = true;
+  clauses[1].rows = 10;
+  clauses[1].needs = {0};
+  graph::JoinOrderResult r = graph::EnumerateJoinOrder(100, clauses);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(JoinOrderTest, ClauseCapFallsBackToGreedy) {
+  std::vector<graph::JoinOrderClause> clauses(graph::kMaxDpClauses + 1);
+  for (auto& c : clauses) c.rows = 2;
+  EXPECT_FALSE(graph::EnumerateJoinOrder(10, clauses).valid);
+  EXPECT_FALSE(graph::EnumerateJoinOrder(10, {}).valid);
+}
+
+TEST(JoinOrderTest, TieBreaksAreDeterministic) {
+  // Identical clauses: every permutation costs the same; the enumerator must
+  // keep the lowest-index-first order for plan stability.
+  std::vector<graph::JoinOrderClause> clauses(4);
+  for (auto& c : clauses) {
+    c.rows = 10;
+    c.selectivity = 0.1;
+  }
+  graph::JoinOrderResult r = graph::EnumerateJoinOrder(100, clauses);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache keying + engine counters.
+// ---------------------------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(EngineProfile::DSwap());
+    std::vector<int64_t> k;
+    std::vector<double> v;
+    for (int i = 0; i < 50; ++i) {
+      k.push_back(i % 5);
+      v.push_back(i * 0.5);
+    }
+    db_->RegisterTable(TableBuilder("t").AddInts("k", k).AddDoubles("v", v).Build());
+    db_->RegisterTable(
+        TableBuilder("t_other").AddInts("k", k).AddDoubles("v", v).Build());
+    db_->RegisterTable(TableBuilder("shaped")
+                           .AddInts("k", {1, 2})
+                           .AddInts("extra", {0, 0})
+                           .Build());
+  }
+
+  std::string Key(const std::string& sql) {
+    sql::Statement stmt = sql::Parse(sql);
+    return plan::PlanCache::ShapeKey(*stmt.select, db_->catalog());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PlanCacheTest, ComparisonLiteralsAreParameters) {
+  EXPECT_EQ(Key("SELECT t.k FROM t WHERE t.v > 0.5"),
+            Key("SELECT t.k FROM t WHERE t.v > 123.75"));
+  EXPECT_NE(Key("SELECT t.k FROM t WHERE t.v > 0.5"),
+            Key("SELECT t.k FROM t WHERE t.v < 0.5"));
+  EXPECT_NE(Key("SELECT t.k FROM t WHERE t.v > 0.5"),
+            Key("SELECT t.k FROM t WHERE t.k > 1"));
+}
+
+TEST_F(PlanCacheTest, LiteralArithmeticIsNotAParameter) {
+  // 1 + 1 can constant-fold; folding depends on the values, so they must
+  // stay in the key.
+  EXPECT_NE(Key("SELECT t.k FROM t WHERE 1 + 1 = 2"),
+            Key("SELECT t.k FROM t WHERE 1 + 2 = 2"));
+}
+
+TEST_F(PlanCacheTest, SameShapeTablesShareAKeyAcrossNames) {
+  // The trainer materializes temp tables under counter-suffixed names; only
+  // the schema fingerprint enters the key, so those plans are shared.
+  EXPECT_EQ(Key("SELECT t.k FROM t WHERE t.v > 1"),
+            Key("SELECT t_other.k FROM t_other WHERE t_other.v > 1"));
+  EXPECT_NE(Key("SELECT t.k FROM t"), Key("SELECT shaped.k FROM shaped"));
+}
+
+TEST_F(PlanCacheTest, InListElementsAreParametersButCountIsNot) {
+  EXPECT_EQ(Key("SELECT t.k FROM t WHERE t.k IN (1, 2)"),
+            Key("SELECT t.k FROM t WHERE t.k IN (3, 4)"));
+  EXPECT_NE(Key("SELECT t.k FROM t WHERE t.k IN (1, 2)"),
+            Key("SELECT t.k FROM t WHERE t.k IN (1, 2, 3)"));
+}
+
+TEST_F(PlanCacheTest, EngineCountsHitsAndMisses) {
+  plan::PlanStats before = db_->PlanStatsTotals();
+  db_->Query("SELECT t.k FROM t WHERE t.v > 1.0");
+  db_->Query("SELECT t.k FROM t WHERE t.v > 2.0");  // same shape: hit
+  db_->Query("SELECT SUM(t.v) AS s FROM t");        // new shape: miss
+  plan::PlanStats d = db_->PlanStatsTotals() - before;
+  EXPECT_EQ(d.queries_planned, 3u);
+  EXPECT_EQ(d.plan_cache_misses, 2u);
+  EXPECT_EQ(d.plan_cache_hits, 1u);
+}
+
+TEST_F(PlanCacheTest, ExplainNeverTouchesTheCache) {
+  plan::PlanStats before = db_->PlanStatsTotals();
+  db_->Query("EXPLAIN SELECT t.k FROM t WHERE t.v > 1.0");
+  db_->Query("EXPLAIN SELECT t.k FROM t WHERE t.v > 1.0");
+  plan::PlanStats d = db_->PlanStatsTotals() - before;
+  EXPECT_EQ(d.plan_cache_hits, 0u);
+  EXPECT_EQ(d.plan_cache_misses, 0u);
+}
+
+TEST_F(PlanCacheTest, GreedyProfileNeverConsultsTheCache) {
+  EngineProfile p = EngineProfile::DSwap();
+  p.cost_based_planner = false;
+  Database db(p);
+  db.RegisterTable(TableBuilder("t").AddInts("k", {1, 2, 3}).Build());
+  db.Query("SELECT t.k FROM t WHERE t.k > 1");
+  db.Query("SELECT t.k FROM t WHERE t.k > 1");
+  plan::PlanStats s = db.PlanStatsTotals();
+  EXPECT_EQ(s.queries_planned, 2u);
+  EXPECT_EQ(s.plan_cache_hits, 0u);
+  EXPECT_EQ(s.plan_cache_misses, 0u);
+  EXPECT_EQ(s.joins_reordered_dp, 0u);
+}
+
+TEST(PlanCacheUnitTest, InsertLookupAndCap) {
+  plan::PlanCache cache;
+  plan::CachedPlan in;
+  in.order = {2, 0, 1};
+  in.reordered = true;
+  in.reordered_dp = true;
+  cache.Insert("key", in);
+  plan::CachedPlan out;
+  ASSERT_TRUE(cache.Lookup("key", &out));
+  EXPECT_EQ(out.order, in.order);
+  EXPECT_TRUE(out.reordered_dp);
+  EXPECT_FALSE(cache.Lookup("other", &out));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy fallback (satellite: post-filter estimates + the DP clause cap).
+// ---------------------------------------------------------------------------
+
+std::string ExplainText(Database* db, const std::string& q) {
+  auto t = db->Query(q);
+  std::string out;
+  for (size_t r = 0; r < t->rows; ++r) {
+    out += t->GetValue(r, 0).s;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(GreedyReorderTest, UsesPostFilterEstimatesNotRawRowCounts) {
+  // dim_big has 5x the rows of dim_small, but the equality filter on it cuts
+  // the heuristic estimate to 10%: 100 < 200, so the greedy reorder must
+  // join the *filtered* big dimension first. Ordering by raw catalog row
+  // counts would pick dim_small.
+  EngineProfile p = EngineProfile::DSwap();
+  p.cost_based_planner = false;  // heuristic/greedy path under test
+  Database db(p);
+  std::vector<int64_t> fk1, fk2;
+  for (int i = 0; i < 400; ++i) {
+    fk1.push_back(i % 1000);
+    fk2.push_back(i % 200);
+  }
+  std::vector<int64_t> bk, bb, sk;
+  for (int i = 0; i < 1000; ++i) {
+    bk.push_back(i);
+    bb.push_back(i % 7);
+  }
+  for (int i = 0; i < 200; ++i) sk.push_back(i);
+  db.RegisterTable(
+      TableBuilder("fact").AddInts("k1", fk1).AddInts("k2", fk2).Build());
+  db.RegisterTable(
+      TableBuilder("dim_big").AddInts("k1", bk).AddInts("b", bb).Build());
+  db.RegisterTable(TableBuilder("dim_small").AddInts("k2", sk).Build());
+  std::string text = ExplainText(
+      &db,
+      "EXPLAIN SELECT COUNT(*) AS c FROM fact "
+      "JOIN dim_small ON fact.k2 = dim_small.k2 "
+      "JOIN dim_big ON fact.k1 = dim_big.k1 WHERE dim_big.b = 3");
+  size_t big = text.find("Scan dim_big");
+  size_t small = text.find("Scan dim_small");
+  ASSERT_NE(big, std::string::npos) << text;
+  ASSERT_NE(small, std::string::npos) << text;
+  EXPECT_LT(big, small) << "filtered big dimension not joined first:\n" << text;
+  EXPECT_NE(text.find("joins-reordered"), std::string::npos) << text;
+  EXPECT_EQ(text.find("joins-reordered-dp"), std::string::npos)
+      << "greedy profile must not run the DP enumerator:\n"
+      << text;
+}
+
+TEST(GreedyReorderTest, DpCapFallsBackToGreedyBeyondTwelveClauses) {
+  // 13 join clauses exceed graph::kMaxDpClauses: the cost-based planner must
+  // fall back to the greedy ordering (joins_reordered without _dp).
+  Database db(EngineProfile::DSwap());
+  const int kDims = 13;
+  TableBuilder fact("fact");
+  std::vector<int64_t> v(100, 1);
+  for (int d = 0; d < kDims; ++d) {
+    int64_t keys = 14 - d;  // descending sizes: greedy reverses the order
+    std::vector<int64_t> fk(100);
+    for (int i = 0; i < 100; ++i) fk[static_cast<size_t>(i)] = i % keys;
+    fact.AddInts("k" + std::to_string(d), fk);
+    std::vector<int64_t> dk(static_cast<size_t>(keys));
+    for (int64_t i = 0; i < keys; ++i) dk[static_cast<size_t>(i)] = i;
+    db.RegisterTable(TableBuilder("d" + std::to_string(d))
+                         .AddInts("k" + std::to_string(d), dk)
+                         .Build());
+  }
+  fact.AddInts("v", v);
+  db.RegisterTable(fact.Build());
+  std::string sql = "SELECT SUM(fact.v) AS s FROM fact";
+  for (int d = 0; d < kDims; ++d) {
+    std::string n = std::to_string(d);
+    sql += " JOIN d" + n + " ON fact.k" + n + " = d" + n + ".k" + n;
+  }
+  plan::PlanStats before = db.PlanStatsTotals();
+  auto t = db.Query(sql);
+  ASSERT_EQ(t->rows, 1u);
+  EXPECT_EQ(t->GetValue(0, 0).AsDouble(), 100.0);
+  plan::PlanStats d = db.PlanStatsTotals() - before;
+  EXPECT_EQ(d.joins_reordered, 1u) << "greedy fallback did not reorder";
+  EXPECT_EQ(d.joins_reordered_dp, 0u) << "DP ran beyond its clause cap";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pin: a full Favorita gbdt train is bit-identical with the
+// cost-based planner on or off (and across thread counts), while the DP
+// enumerator genuinely reorders joins and the plan cache carries the
+// repeated trainer shapes.
+// ---------------------------------------------------------------------------
+
+TEST(CostBasedTrainTest, FavoritaTrainIsBitIdenticalAndCacheEffective) {
+  struct Config {
+    const char* label;
+    bool use_planner;
+    bool cost_based;
+    int threads;
+  };
+  const Config configs[] = {
+      {"cost-based x1", true, true, 1},
+      {"cost-based x4", true, true, 4},
+      {"greedy x1", true, false, 1},
+      {"planner-off x1", false, false, 1},
+  };
+  std::vector<std::string> models;
+  std::vector<std::vector<double>> predictions;
+  plan::PlanStats cost_stats;
+  for (const Config& c : configs) {
+    EngineProfile p = EngineProfile::DSwap();
+    p.use_planner = c.use_planner;
+    p.cost_based_planner = c.cost_based;
+    p.exec_threads = c.threads;
+    Database db(p);
+    Dataset ds = data::MakeFavorita(&db, test_util::TinyFavorita());
+    core::TrainParams params;
+    params.boosting = "gbdt";
+    params.num_iterations = 5;
+    params.num_leaves = 8;
+    params.learning_rate = 0.2;
+    TrainResult res = Train(params, ds);
+    models.push_back(res.model.ToString());
+    core::JoinedEval eval = core::MaterializeJoin(ds);
+    std::vector<double> preds(eval.rows());
+    for (size_t r = 0; r < eval.rows(); ++r) {
+      preds[r] = eval.Predict(res.model, r);
+    }
+    predictions.push_back(std::move(preds));
+    if (c.cost_based && c.threads == 1) cost_stats = res.plan_stats;
+  }
+  for (size_t i = 1; i < models.size(); ++i) {
+    EXPECT_EQ(models[0], models[i])
+        << "model diverged under config " << configs[i].label;
+    ASSERT_EQ(predictions[0].size(), predictions[i].size());
+    for (size_t r = 0; r < predictions[0].size(); ++r) {
+      ASSERT_EQ(predictions[0][r], predictions[i][r])
+          << "prediction diverged at row " << r << " under config "
+          << configs[i].label;
+    }
+  }
+  // The DP enumerator must genuinely fire on the trainer's multi-relation
+  // queries (this pins the historical joins_reordered: 0 gap on Favorita).
+  EXPECT_GT(cost_stats.joins_reordered_dp, 0u)
+      << "DP never reordered a training query";
+  // The trainer repeats shapes across leaves and iterations with only the
+  // split thresholds changing — the shape cache must carry >90% of planning.
+  size_t consulted = cost_stats.plan_cache_hits + cost_stats.plan_cache_misses;
+  ASSERT_GT(consulted, 0u);
+  EXPECT_EQ(consulted, cost_stats.queries_planned);
+  double hit_rate = static_cast<double>(cost_stats.plan_cache_hits) /
+                    static_cast<double>(consulted);
+  EXPECT_GT(hit_rate, 0.9) << "hits " << cost_stats.plan_cache_hits << " / "
+                           << consulted;
+}
+
+}  // namespace
+}  // namespace joinboost
