@@ -1,0 +1,150 @@
+#include "core/flat_forest.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace core {
+
+FlatForest FlatForest::Compile(const Ensemble& model) {
+  FlatForest out;
+  out.base_score_ = model.base_score;
+  out.average_ = model.average;
+
+  std::unordered_map<std::string, int32_t> slot_of;
+  size_t total_nodes = 0;
+  for (const auto& tree : model.trees) total_nodes += tree.nodes.size();
+  out.feat_.reserve(total_nodes);
+  out.is_cat_.reserve(total_nodes);
+  out.thresh_.reserve(total_nodes);
+  out.category_.reserve(total_nodes);
+  out.left_.reserve(total_nodes);
+  out.right_.reserve(total_nodes);
+  out.leaf_.reserve(total_nodes);
+  out.tree_root_.reserve(model.trees.size());
+
+  for (const auto& tree : model.trees) {
+    JB_CHECK_MSG(!tree.nodes.empty(), "cannot compile an empty tree");
+    const int32_t base = static_cast<int32_t>(out.feat_.size());
+    out.tree_root_.push_back(base);  // nodes[0] is the root
+    for (const auto& n : tree.nodes) {
+      if (n.is_leaf) {
+        out.feat_.push_back(-1);
+        out.is_cat_.push_back(0);
+        out.thresh_.push_back(0);
+        out.category_.push_back(0);
+        out.left_.push_back(-1);
+        out.right_.push_back(-1);
+        out.leaf_.push_back(n.prediction);
+        continue;
+      }
+      auto [it, inserted] = slot_of.try_emplace(
+          n.feature, static_cast<int32_t>(out.feature_names_.size()));
+      if (inserted) {
+        out.feature_names_.push_back(n.feature);
+        out.feature_is_cat_.push_back(n.categorical ? 1 : 0);
+      } else {
+        // A feature's kind is a property of its column type; a forest mixing
+        // both for one name would need per-node accessors.
+        JB_CHECK_MSG(out.feature_is_cat_[static_cast<size_t>(it->second)] ==
+                         (n.categorical ? 1 : 0),
+                     "feature " << n.feature
+                                << " used both numerically and categorically");
+      }
+      out.feat_.push_back(it->second);
+      out.is_cat_.push_back(n.categorical ? 1 : 0);
+      out.thresh_.push_back(n.threshold);
+      out.category_.push_back(n.category);
+      out.left_.push_back(base + n.left);
+      out.right_.push_back(base + n.right);
+      out.leaf_.push_back(0);
+    }
+  }
+  return out;
+}
+
+std::vector<FlatForest::BoundColumn> FlatForest::Bind(
+    const exec::ExecTable& table) const {
+  std::vector<BoundColumn> bound(feature_names_.size());
+  for (size_t s = 0; s < feature_names_.size(); ++s) {
+    int idx = table.Find("", feature_names_[s]);
+    JB_CHECK_MSG(idx >= 0, "feature " << feature_names_[s]
+                                      << " absent from prediction input");
+    const exec::VectorData& v = table.cols[static_cast<size_t>(idx)].data;
+    BoundColumn& b = bound[s];
+    b.type = v.type;
+    if (v.type == TypeId::kFloat64) {
+      JB_CHECK_MSG(!feature_is_cat_[s], "categorical feature "
+                                            << feature_names_[s]
+                                            << " bound to a float column");
+      b.dbls = v.dbls.get();
+      JB_CHECK(b.dbls != nullptr);
+    } else {
+      b.ints = v.ints.get();
+      JB_CHECK(b.ints != nullptr);
+    }
+  }
+  return bound;
+}
+
+void FlatForest::PredictRange(const exec::ExecTable& table, size_t begin,
+                              size_t end, std::vector<double>* out) const {
+  JB_CHECK(begin <= end && end <= table.rows);
+  const size_t n = end - begin;
+  const std::vector<BoundColumn> bound = Bind(table);
+
+  // Tree-outer / row-inner with per-row accumulators: addition order per row
+  // is tree 0, 1, 2, ... — exactly Ensemble::PredictPrefix.
+  std::vector<double> acc(n, 0.0);
+  for (int32_t root : tree_root_) {
+    for (size_t r = 0; r < n; ++r) {
+      const size_t row = begin + r;
+      int32_t i = root;
+      for (;;) {
+        const int32_t f = feat_[static_cast<size_t>(i)];
+        if (f < 0) {
+          acc[r] += leaf_[static_cast<size_t>(i)];
+          break;
+        }
+        const BoundColumn& col = bound[static_cast<size_t>(f)];
+        bool go_left;
+        if (is_cat_[static_cast<size_t>(i)]) {
+          // Raw dictionary-code comparison (JoinedEval::Row::GetCategory).
+          go_left = (*col.ints)[row] == category_[static_cast<size_t>(i)];
+        } else {
+          // Value::AsDouble promotion: int64 null -> NaN; NaN <= t is false,
+          // so nulls route right, matching the per-row path.
+          double v;
+          if (col.type == TypeId::kFloat64) {
+            v = (*col.dbls)[row];
+          } else {
+            const int64_t iv = (*col.ints)[row];
+            v = iv == kNullInt64 ? NullFloat64() : static_cast<double>(iv);
+          }
+          go_left = v <= thresh_[static_cast<size_t>(i)];
+        }
+        i = go_left ? left_[static_cast<size_t>(i)]
+                    : right_[static_cast<size_t>(i)];
+      }
+    }
+  }
+
+  const size_t k = tree_root_.size();
+  out->reserve(out->size() + n);
+  for (size_t r = 0; r < n; ++r) {
+    double a = acc[r];
+    if (average_ && k > 0) a /= static_cast<double>(k);
+    out->push_back(base_score_ + a);
+  }
+}
+
+std::vector<double> FlatForest::PredictBatch(
+    const exec::ExecTable& table) const {
+  std::vector<double> out;
+  PredictRange(table, 0, table.rows, &out);
+  return out;
+}
+
+}  // namespace core
+}  // namespace joinboost

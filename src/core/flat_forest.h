@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "exec/vector.h"
+
+namespace joinboost {
+namespace core {
+
+/// An Ensemble compiled to flat structure-of-arrays form for batched serving.
+///
+/// The per-row path (Ensemble::Predict over a RowView) pays, per tree node,
+/// a virtual call plus a string-keyed hash lookup to resolve the split
+/// feature. Compilation hoists both out of the loop: features collapse to
+/// dense slot indices resolved once per batch against the input's columns,
+/// and nodes become parallel vectors walked with plain integer indexing.
+///
+/// Determinism contract: PredictBatch is bit-identical to calling
+/// Ensemble::Predict on every row. Trees accumulate in ensemble order with a
+/// per-row accumulator (same floating-point addition order), numeric fetches
+/// reproduce Value::AsDouble promotion (int64 null -> NaN, NaN comparisons
+/// route right), and categorical fetches compare raw dictionary codes.
+class FlatForest {
+ public:
+  /// Compile `model` into flat arrays. The model is copied by value into
+  /// vectors; the FlatForest holds no reference to it afterwards.
+  static FlatForest Compile(const Ensemble& model);
+
+  /// Predict rows [begin, end) of `table`. Feature slots resolve against
+  /// `table`'s columns by name (unqualified, first match), once per call.
+  /// Appends one prediction per row to `out`.
+  void PredictRange(const exec::ExecTable& table, size_t begin, size_t end,
+                    std::vector<double>* out) const;
+
+  /// Predict every row of `table`.
+  std::vector<double> PredictBatch(const exec::ExecTable& table) const;
+
+  size_t num_trees() const { return tree_root_.size(); }
+  size_t num_nodes() const { return feat_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  double base_score() const { return base_score_; }
+
+ private:
+  /// Per-slot column accessor bound for one batch.
+  struct BoundColumn {
+    TypeId type = TypeId::kInt64;
+    const std::vector<int64_t>* ints = nullptr;
+    const std::vector<double>* dbls = nullptr;
+  };
+  std::vector<BoundColumn> Bind(const exec::ExecTable& table) const;
+
+  // Node arrays (absolute indices; one entry per node across all trees).
+  std::vector<int32_t> feat_;      ///< feature slot; -1 marks a leaf
+  std::vector<uint8_t> is_cat_;    ///< categorical split?
+  std::vector<double> thresh_;     ///< numeric threshold (`<=` goes left)
+  std::vector<int64_t> category_;  ///< dictionary code (`==` goes left)
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> leaf_;       ///< leaf prediction
+
+  std::vector<int32_t> tree_root_;  ///< root node index per tree
+
+  // Feature slots.
+  std::vector<std::string> feature_names_;
+  std::vector<uint8_t> feature_is_cat_;
+
+  double base_score_ = 0;
+  bool average_ = false;
+};
+
+}  // namespace core
+}  // namespace joinboost

@@ -52,7 +52,9 @@ SplitCandidate TreeGrower::BestSplit(const LeafState& leaf,
   }
 
   // Phase 1 (serial): ensure messages exist per root relation. The
-  // factorizer cache is not thread-safe; split queries below are read-only.
+  // factorizer serializes materialization on its own mutex; keeping this
+  // phase serial here preserves deterministic temp-table naming. Split
+  // queries below are read-only.
   struct Job {
     int rel;
     std::string feature;
@@ -127,8 +129,9 @@ SplitCandidate TreeGrower::BestSplitBatched(
     const std::map<int, std::vector<std::string>>& by_rel,
     const LeafState& leaf, const CriterionParams& crit) {
   // Phase 1 (serial): build each relation's absorption (materializing any
-  // missing messages — the factorizer cache is not thread-safe) and compose
-  // one GROUPING SETS histogram query per relation.
+  // missing messages — serialized by the factorizer's internal mutex; kept
+  // serial here for deterministic temp-table naming) and compose one
+  // GROUPING SETS histogram query per relation.
   struct RelJob {
     int rel = 0;
     const std::vector<std::string>* feats = nullptr;

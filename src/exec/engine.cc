@@ -139,6 +139,26 @@ std::shared_ptr<ExecTable> Database::Query(const std::string& sql_text,
   return res.table;
 }
 
+std::shared_ptr<ExecTable> Database::QueryOn(const Catalog& cat,
+                                             const std::string& sql_text,
+                                             const std::string& tag) {
+  Timer timer;
+  sql::Statement stmt = sql::Parse(sql_text);
+  JB_CHECK_MSG(stmt.kind == sql::Statement::Kind::kSelect,
+               "QueryOn() supports SELECT statements only");
+  auto table = std::make_shared<ExecTable>(RunSelectOn(cat, *stmt.select));
+  QueryLogEntry entry;
+  entry.tag = tag;
+  entry.sql = sql_text;
+  entry.ms = timer.Millis();
+  entry.rows_out = table->rows;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_.push_back(std::move(entry));
+  }
+  return table;
+}
+
 double Database::QueryScalarDouble(const std::string& sql_text,
                                    const std::string& tag) {
   auto t = Query(sql_text, tag);
@@ -176,6 +196,11 @@ Database::Result Database::ExecuteStatement(const sql::Statement& stmt) {
 }
 
 ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
+  return RunSelectOn(catalog_, stmt);
+}
+
+ExecTable Database::RunSelectOn(const Catalog& cat,
+                                const sql::SelectStmt& stmt) {
   plan::PlanStats local;
   OpContext octx;
   octx.row_mode = !profile_.columnar_exec;
@@ -188,8 +213,10 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
   octx.compressed_exec = profile_.compressed_exec && profile_.compression;
 
   EvalContext ectx;
-  ectx.run_subquery = [this](const sql::SelectStmt& sub) {
-    return RunSelect(sub);
+  // Subqueries resolve through the same catalog, so a pinned snapshot covers
+  // the whole statement.
+  ectx.run_subquery = [this, &cat](const sql::SelectStmt& sub) {
+    return RunSelectOn(cat, sub);
   };
 
   ExecTable current;
@@ -200,7 +227,7 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
       pctx.cache = &plan_cache_;
     }
     plan::LogicalPlan lp =
-        plan::PlanSelect(stmt, catalog_, /*for_explain=*/false,
+        plan::PlanSelect(stmt, cat, /*for_explain=*/false,
                          parallel_policy(), &pctx);
     ++local.queries_planned;
     local.predicates_pushed += lp.predicates_pushed;
@@ -212,9 +239,9 @@ ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
     } else if (lp.plan_cache == 0) {
       ++local.plan_cache_misses;
     }
-    current = ExecutePlanNode(*lp.data_root, octx, ectx);
+    current = ExecutePlanNode(cat, *lp.data_root, octx, ectx);
   } else {
-    current = RunFromWhere(stmt, octx, ectx);
+    current = RunFromWhere(cat, stmt, octx, ectx);
   }
   ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
   {
@@ -258,7 +285,7 @@ std::string Database::ExplainAnalyzeSelect(const sql::SelectStmt& stmt) {
   if (profile_.cost_based_planner) pctx.stats = &stats_mgr_;
   plan::LogicalPlan lp = plan::PlanSelect(stmt, catalog_, /*for_explain=*/false,
                                           parallel_policy(), &pctx);
-  ExecTable current = ExecutePlanNode(*lp.data_root, octx, ectx);
+  ExecTable current = ExecutePlanNode(catalog_, *lp.data_root, octx, ectx);
   ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
   if (lp.root) lp.root->actual_rows = static_cast<double>(out.rows);
   // Re-render through the EXPLAIN tree builder: PlanSelect(for_explain) would
@@ -290,12 +317,13 @@ std::shared_ptr<ExecTable> Database::ExecuteExplain(
   return t;
 }
 
-ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
+ExecTable Database::ExecutePlanNode(const Catalog& cat,
+                                    const plan::LogicalOp& op, OpContext& octx,
                                     EvalContext& ectx) {
   ExecTable result = [&]() -> ExecTable {
   switch (op.kind) {
     case plan::OpKind::kScan: {
-      TablePtr base = catalog_.Get(op.table);
+      TablePtr base = cat.Get(op.table);
       ScanSpec spec;
       std::vector<int> subset;
       if (op.pruned) {
@@ -311,21 +339,21 @@ ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
       return ScanTable(*base, op.qualifier, octx, spec);
     }
     case plan::OpKind::kSubqueryScan: {
-      // The nested SELECT is planned by its own RunSelect; the child node in
-      // the tree is for EXPLAIN only.
-      ExecTable t = RunSelect(*op.subquery);
+      // The nested SELECT is planned by its own RunSelectOn (same catalog);
+      // the child node in the tree is for EXPLAIN only.
+      ExecTable t = RunSelectOn(cat, *op.subquery);
       for (auto& c : t.cols) c.qualifier = op.qualifier;
       if (op.filter) t = FilterExec(t, *op.filter, ectx, octx);
       return t;
     }
     case plan::OpKind::kJoin: {
-      ExecTable left = ExecutePlanNode(*op.children[0], octx, ectx);
-      ExecTable right = ExecutePlanNode(*op.children[1], octx, ectx);
+      ExecTable left = ExecutePlanNode(cat, *op.children[0], octx, ectx);
+      ExecTable right = ExecutePlanNode(cat, *op.children[1], octx, ectx);
       return JoinWithCondition(left, right, op.condition, op.join_type, ectx,
                                octx);
     }
     case plan::OpKind::kFilter: {
-      ExecTable t = ExecutePlanNode(*op.children[0], octx, ectx);
+      ExecTable t = ExecutePlanNode(cat, *op.children[0], octx, ectx);
       return FilterExec(t, *op.filter, ectx, octx);
     }
     case plan::OpKind::kNoFrom: {
@@ -342,7 +370,8 @@ ExecTable Database::ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
   return result;
 }
 
-ExecTable Database::RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,
+ExecTable Database::RunFromWhere(const Catalog& cat,
+                                 const sql::SelectStmt& stmt, OpContext& octx,
                                  EvalContext& ectx) {
   // ---- FROM + pushdown + joins over the raw AST (planner off) ----
   std::vector<sql::ExprPtr> conjuncts;
@@ -357,10 +386,10 @@ ExecTable Database::RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,
                       bool allow_pushdown) -> ExecTable {
     ExecTable t;
     if (ref.kind == sql::TableRef::Kind::kBase) {
-      TablePtr base = catalog_.Get(ref.name);
+      TablePtr base = cat.Get(ref.name);
       t = ScanTable(*base, ref.Qualifier(), octx);
     } else {
-      t = RunSelect(*ref.subquery);
+      t = RunSelectOn(cat, *ref.subquery);
       for (auto& c : t.cols) c.qualifier = ref.Qualifier();
     }
     if (!allow_pushdown) return t;
@@ -650,6 +679,14 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
     (void)row_bytes;
   }
 
+  // Copy-on-write publication: replacement columns are built aside and the
+  // updated table is installed with a single Register() call, which swaps
+  // the catalog's TablePtr atomically. A reader that resolved the old
+  // pointer keeps a fully pre-update view; a reader that resolves after the
+  // install sees every SET applied. The previous in-place path could expose
+  // a mid-update mix (column A rewritten, column B not yet) to a concurrent
+  // reader despite update_mu_, which only serializes writers.
+  std::vector<ColumnPtr> new_cols = table->columns();
   for (const auto& [col_name, expr] : stmt.set_items) {
     int idx = table->schema().FieldIndex(col_name);
     JB_CHECK_MSG(idx >= 0, "UPDATE: no column " << col_name);
@@ -658,6 +695,7 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
     // Evaluate the full expression, then scatter at touched rows.
     VectorData new_vals = EvalExpr(*expr, view, ectx);
 
+    ColumnPtr replacement;
     if (col->type() == TypeId::kFloat64) {
       std::vector<double> data = col->DecodeDoubles();
       std::vector<double> old_touched;
@@ -679,9 +717,7 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
       if (profile_.wal) {
         wal_->LogDoubles(stmt.table, col_name, touched, new_touched);
       }
-      auto mutable_col = table->column(static_cast<size_t>(idx));
-      mutable_col->ReplaceDoubles(std::move(data));
-      if (profile_.compression && !table->dataframe()) mutable_col->Encode();
+      replacement = ColumnData::MakeDoubles(std::move(data));
     } else {
       std::vector<int64_t> data = col->DecodeInts();
       std::vector<int64_t> old_touched;
@@ -701,12 +737,86 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
       if (profile_.wal) {
         wal_->LogInts(stmt.table, col_name, touched, new_touched);
       }
-      auto mutable_col = table->column(static_cast<size_t>(idx));
-      mutable_col->ReplaceInts(std::move(data));
-      if (profile_.compression && !table->dataframe()) mutable_col->Encode();
+      replacement = col->type() == TypeId::kString
+                        ? ColumnData::MakeDictCodes(std::move(data),
+                                                    col->dict())
+                        : ColumnData::MakeInts(std::move(data));
     }
+    if (profile_.compression && !table->dataframe()) replacement->Encode();
+    new_cols[static_cast<size_t>(idx)] = std::move(replacement);
   }
+  auto updated = std::make_shared<Table>(stmt.table, table->schema(),
+                                         std::move(new_cols));
+  updated->set_dataframe(table->dataframe());
+  catalog_.Register(updated);
   return touched.size();
+}
+
+TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  TablePtr table = catalog_.Get(name);
+  JB_CHECK_MSG(rows.cols.size() >= table->num_columns(),
+               "AppendRows: batch has fewer columns than " << name);
+  if (profile_.mvcc) versions_.BeginTxn();
+
+  // Copy-on-write growth, same publication discipline as ExecuteUpdate: the
+  // grown table is built aside and swapped in atomically, so readers see the
+  // old or the new row count, never a ragged intermediate.
+  std::vector<ColumnPtr> new_cols;
+  new_cols.reserve(table->num_columns());
+  for (size_t i = 0; i < table->num_columns(); ++i) {
+    const Field& field = table->schema().field(i);
+    int src = rows.Find("", field.name);
+    JB_CHECK_MSG(src >= 0, "AppendRows: batch lacks column " << field.name);
+    const VectorData& v = rows.cols[static_cast<size_t>(src)].data;
+    const ColumnPtr& col = table->column(i);
+    ColumnPtr grown;
+    if (field.type == TypeId::kFloat64) {
+      JB_CHECK_MSG(v.type == TypeId::kFloat64,
+                   "AppendRows: type mismatch for " << field.name);
+      std::vector<double> data = col->DecodeDoubles();
+      data.insert(data.end(), v.dbls->begin(), v.dbls->end());
+      if (profile_.wal) {
+        wal_->LogDoubles(name, field.name, {},
+                         std::vector<double>(v.dbls->begin(), v.dbls->end()));
+      }
+      grown = ColumnData::MakeDoubles(std::move(data));
+    } else if (field.type == TypeId::kString) {
+      JB_CHECK_MSG(v.type == TypeId::kString && v.dict,
+                   "AppendRows: type mismatch for " << field.name);
+      // The dictionary is shared with concurrent readers of the old table
+      // and must not grow under them: copy it, then translate the incoming
+      // codes against the copy.
+      auto dict = std::make_shared<Dictionary>(*col->dict());
+      std::vector<int64_t> data = col->DecodeInts();
+      std::vector<int64_t> appended;
+      appended.reserve(v.ints->size());
+      for (int64_t code : *v.ints) {
+        appended.push_back(code == kNullInt64 ? kNullInt64
+                                              : dict->GetOrAdd(v.dict->At(code)));
+      }
+      if (profile_.wal) wal_->LogInts(name, field.name, {}, appended);
+      data.insert(data.end(), appended.begin(), appended.end());
+      grown = ColumnData::MakeDictCodes(std::move(data), std::move(dict));
+    } else {
+      JB_CHECK_MSG(v.type == TypeId::kInt64,
+                   "AppendRows: type mismatch for " << field.name);
+      std::vector<int64_t> data = col->DecodeInts();
+      data.insert(data.end(), v.ints->begin(), v.ints->end());
+      if (profile_.wal) {
+        wal_->LogInts(name, field.name, {},
+                      std::vector<int64_t>(v.ints->begin(), v.ints->end()));
+      }
+      grown = ColumnData::MakeInts(std::move(data));
+    }
+    if (profile_.compression && !table->dataframe()) grown->Encode();
+    new_cols.push_back(std::move(grown));
+  }
+  auto grown_table =
+      std::make_shared<Table>(name, table->schema(), std::move(new_cols));
+  grown_table->set_dataframe(table->dataframe());
+  catalog_.Register(grown_table);
+  return grown_table;
 }
 
 void Database::SwapColumns(const std::string& table1, const std::string& col1,
@@ -716,6 +826,11 @@ void Database::SwapColumns(const std::string& table1, const std::string& col1,
                "profile '" << profile_.name
                            << "' does not support column swap (the paper's "
                               "engine patch, §5.4)");
+  // Writer-writer serialization. The swap itself stays in-place by design
+  // (§5.4: a pointer exchange is the whole point) and is only used by the
+  // trainer on its private lifted copies — serving snapshots never cover
+  // mid-train lifted tables.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
   TablePtr t1 = catalog_.Get(table1);
   TablePtr t2 = catalog_.Get(table2);
   t1->column(col1)->SwapPayload(*t2->column(col2));

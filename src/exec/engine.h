@@ -56,6 +56,25 @@ class Database {
   /// in which case the raw AST is executed (differential-test path).
   ExecTable RunSelect(const sql::SelectStmt& stmt);
 
+  /// RunSelect against an explicit catalog instead of the live one. This is
+  /// the serving layer's versioned-read path: a session resolves every base
+  /// table (including subquery scans) through its pinned snapshot catalog, so
+  /// concurrent writers publishing new table versions are invisible to it.
+  ExecTable RunSelectOn(const Catalog& cat, const sql::SelectStmt& stmt);
+
+  /// Parse + execute a SELECT against an explicit catalog (logged under
+  /// `tag` like Query()).
+  std::shared_ptr<ExecTable> QueryOn(const Catalog& cat,
+                                     const std::string& sql,
+                                     const std::string& tag = "");
+
+  /// Append `rows` (matched to the table's schema by column name) to table
+  /// `name` copy-on-write: the grown table is built aside and swapped into
+  /// the catalog atomically, so concurrent readers see the old or the new
+  /// row count, never a torn column set. Serialized with other writers;
+  /// honours the profile's WAL/MVCC/compression costs. Returns the new table.
+  TablePtr AppendRows(const std::string& name, const ExecTable& rows);
+
   /// Plan a SELECT and render its operator tree (the EXPLAIN statement).
   std::string ExplainSelect(const sql::SelectStmt& stmt);
 
@@ -103,18 +122,23 @@ class Database {
   plan::PlanStats PlanStatsTotals() const;
   void ClearPlanStats();
 
+  /// The normalized-shape plan cache (exposed for staleness tests/benches).
+  plan::PlanCache& plan_cache() { return plan_cache_; }
+
  private:
   Result ExecuteStatement(const sql::Statement& stmt);
   size_t ExecuteUpdate(const sql::Statement& stmt);
   void ExecuteCreateTableAs(const sql::Statement& stmt);
   std::shared_ptr<ExecTable> ExecuteExplain(const sql::Statement& stmt);
 
-  /// Legacy data-section execution over the raw AST (planner off).
-  ExecTable RunFromWhere(const sql::SelectStmt& stmt, OpContext& octx,
-                         EvalContext& ectx);
+  /// Legacy data-section execution over the raw AST (planner off). `cat` is
+  /// the catalog base tables resolve against (the live catalog_, or a
+  /// session's pinned snapshot).
+  ExecTable RunFromWhere(const Catalog& cat, const sql::SelectStmt& stmt,
+                         OpContext& octx, EvalContext& ectx);
   /// Recursive executor for the planned data section.
-  ExecTable ExecutePlanNode(const plan::LogicalOp& op, OpContext& octx,
-                            EvalContext& ectx);
+  ExecTable ExecutePlanNode(const Catalog& cat, const plan::LogicalOp& op,
+                            OpContext& octx, EvalContext& ectx);
   /// Shared finishing pipeline: aggregation/windows, projection, DISTINCT,
   /// ORDER BY, LIMIT.
   ExecTable FinishSelect(const sql::SelectStmt& stmt, ExecTable current,
@@ -126,7 +150,11 @@ class Database {
   VersionStore versions_;
   std::unique_ptr<ThreadPool> pool_;
   int exec_threads_ = 1;  ///< profile threads clamped to the pool size
-  std::mutex update_mu_;  ///< updates are single-threaded (§5.3.2)
+  /// Serializes writers (UPDATE, AppendRows, SwapColumns) — single-threaded
+  /// updates as in §5.3.2. Readers are not blocked: they run against
+  /// immutable TablePtrs, and writers publish copy-on-write through
+  /// Catalog::Register.
+  std::mutex update_mu_;
 
   mutable std::mutex log_mu_;
   std::vector<QueryLogEntry> query_log_;

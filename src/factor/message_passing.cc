@@ -76,10 +76,12 @@ Factorizer::~Factorizer() {
 }
 
 void Factorizer::BindRelation(int rel, RelationBinding binding) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   bindings_.at(static_cast<size_t>(rel)) = std::move(binding);
 }
 
 void Factorizer::BumpEpoch(int rel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ++epochs_.at(static_cast<size_t>(rel));
   // Cached messages keyed on stale epochs are now unreachable; drop their
   // tables lazily when the cache is cleared. (Table space is reclaimed by
@@ -144,6 +146,7 @@ std::string Factorizer::NewTempName() {
 
 Message Factorizer::GetSelector(int from, int to, const PredicateSet& preds,
                                 const std::string& tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const std::vector<int>& rels = SubtreeRels(from, to);
   if (!preds.AnyIn(rels)) return Message{};  // kNone
 
@@ -201,6 +204,7 @@ Message Factorizer::GetSelector(int from, int to, const PredicateSet& preds,
 
 Message Factorizer::GetMessage(int from, int to, const PredicateSet& preds,
                                const std::string& tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const std::vector<int>& rels = SubtreeRels(from, to);
 
   // Edge keys between from and to.
@@ -421,6 +425,7 @@ Message Factorizer::GetMessage(int from, int to, const PredicateSet& preds,
 std::vector<Message> Factorizer::IncomingMessages(int root,
                                                   const PredicateSet& preds,
                                                   const std::string& tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<Message> msgs;
   for (auto [n, e] : graph_->Neighbors(root)) {
     (void)e;
@@ -432,6 +437,7 @@ std::vector<Message> Factorizer::IncomingMessages(int root,
 
 Factorizer::AbsorptionParts Factorizer::BuildAbsorption(
     int root, const PredicateSet& preds, const std::string& tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const RelationBinding& bind = binding(root);
   const std::string& tbl = bind.table;
   std::vector<Message> msgs = IncomingMessages(root, preds, tag);
@@ -566,6 +572,7 @@ semiring::VarianceElem Factorizer::TotalAggregate(int root,
 }
 
 void Factorizer::ClearCache() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& t : owned_tables_) db_->catalog().DropIfExists(t);
   owned_tables_.clear();
   cache_.clear();

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,14 @@ struct FactorizerOptions {
 /// Generates and executes message-passing SQL over a join graph (§3.1), with
 /// bidirectional message caching, identity-message elision and selection
 /// (semi-join) messages. All data access goes through SQL on the Database.
+///
+/// Thread safety: every public entry point serializes on an internal
+/// recursive mutex, so one Factorizer may be shared by concurrent callers
+/// (e.g. serving sessions racing a training thread). Message materialization
+/// runs *while holding* the lock — deliberately: the trainer's message phase
+/// is serial by design (intra-query parallelism does the scaling, §5.5), and
+/// serializing here guarantees a message table is fully materialized before
+/// any other thread can observe its cache entry.
 class Factorizer {
  public:
   Factorizer(exec::Database* db, const graph::JoinGraph* graph,
@@ -128,9 +137,18 @@ class Factorizer {
                                   const PredicateSet& preds,
                                   const std::string& tag);
 
-  size_t cache_hits() const { return cache_hits_; }
-  size_t cache_misses() const { return cache_misses_; }
-  size_t messages_materialized() const { return messages_materialized_; }
+  size_t cache_hits() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return cache_hits_;
+  }
+  size_t cache_misses() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return cache_misses_;
+  }
+  size_t messages_materialized() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return messages_materialized_;
+  }
 
   /// Drop all cached message tables.
   void ClearCache();
@@ -150,6 +168,11 @@ class Factorizer {
                        const PredicateSet& preds);
   std::string NewTempName();
 
+  /// Serializes all cache state (cache_, subtree_cache_, ref_complete_cache_,
+  /// owned_tables_, counters, temp_counter_, epochs_) and message
+  /// materialization. Recursive because GetMessage/GetSelector re-enter
+  /// themselves and each other while walking the join tree.
+  mutable std::recursive_mutex mu_;
   exec::Database* db_;
   const graph::JoinGraph* graph_;
   FactorizerOptions options_;

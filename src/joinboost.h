@@ -19,9 +19,11 @@
 
 #include "core/dataset.h"      // IWYU pragma: export
 #include "core/evaluate.h"     // IWYU pragma: export
+#include "core/flat_forest.h"  // IWYU pragma: export
 #include "core/model.h"        // IWYU pragma: export
 #include "core/params.h"       // IWYU pragma: export
 #include "core/train.h"        // IWYU pragma: export
 #include "exec/engine.h"       // IWYU pragma: export
+#include "serve/serving.h"     // IWYU pragma: export
 #include "storage/engine_profile.h"  // IWYU pragma: export
 #include "storage/table.h"     // IWYU pragma: export

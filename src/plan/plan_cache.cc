@@ -1,5 +1,6 @@
 #include "plan/plan_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -268,6 +269,29 @@ bool PlanCache::Lookup(const std::string& key, CachedPlan* out) const {
   return true;
 }
 
+bool PlanCache::Lookup(const std::string& key,
+                       const std::vector<TableStamp>& current,
+                       CachedPlan* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  // Slot-wise staleness check. A different table name in the same slot is
+  // shape sharing (trainer temp tables) — always valid. The *same* name with
+  // a changed uid or data version means the table the join order was costed
+  // on has been appended to, updated, or swapped: evict and re-plan.
+  const auto& stamps = it->second.stamps;
+  const size_t n = std::min(stamps.size(), current.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (stamps[i].name == current[i].name && !(stamps[i] == current[i])) {
+      map_.erase(it);
+      ++evictions_;
+      return false;
+    }
+  }
+  *out = it->second;
+  return true;
+}
+
 void PlanCache::Insert(const std::string& key, CachedPlan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   if (map_.size() >= kMaxEntries) return;
@@ -277,6 +301,11 @@ void PlanCache::Insert(const std::string& key, CachedPlan plan) {
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+size_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 void PlanCache::Clear() {

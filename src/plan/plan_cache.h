@@ -12,6 +12,23 @@
 namespace joinboost {
 namespace plan {
 
+/// Identity of one base table at planning time, at the granularity join-order
+/// decisions depend on: `uid` changes whenever the catalog entry is replaced
+/// wholesale (copy-on-write append/update), `rows` guards cardinality. A
+/// value-only in-place mutation (the trainer's residual column swap, §5.4)
+/// deliberately does NOT invalidate: it changes annotation values, never
+/// cardinalities, and per-column statistics go stale independently through
+/// the StatsManager's (ColumnData identity, version) scheme.
+struct TableStamp {
+  std::string name;
+  uint64_t uid = 0;
+  uint64_t rows = 0;
+
+  bool operator==(const TableStamp& o) const {
+    return name == o.name && uid == o.uid && rows == o.rows;
+  }
+};
+
 /// The planning decision memoized per normalized query shape: the join-clause
 /// execution order (indices into the planner's relation vector, excluding the
 /// anchor at 0). The cheap lowering (pushdown, pruning, folding) still runs
@@ -21,6 +38,9 @@ struct CachedPlan {
   std::vector<size_t> order;  ///< rel indices 1..n in execution sequence
   bool reordered = false;     ///< order differs from the written order
   bool reordered_dp = false;  ///< order was chosen by DP enumeration
+  /// Base tables (planner relation order) whose statistics the decision was
+  /// derived from. Validated on lookup — see PlanCache::Lookup.
+  std::vector<TableStamp> stamps;
 };
 
 /// Plan cache keyed on normalized plan shape. ShapeKey maps table names to
@@ -41,11 +61,23 @@ class PlanCache {
   /// True + *out filled on hit. Thread-safe.
   bool Lookup(const std::string& key, CachedPlan* out) const;
 
+  /// Lookup with staleness validation against the querying statement's
+  /// current base tables. Per slot: a *renamed* table (trainer temp-table
+  /// churn) still hits — shape sharing across names is the cache's purpose —
+  /// but the *same* table name with a different (uid, rows) means the table
+  /// the join order was costed on has been replaced or resized (append,
+  /// copy-on-write update); the entry is evicted and the caller re-plans.
+  /// Thread-safe.
+  bool Lookup(const std::string& key, const std::vector<TableStamp>& current,
+              CachedPlan* out);
+
   /// Memoize the decision for `key` (idempotent for a deterministic planner;
   /// stops inserting at kMaxEntries to bound memory).
   void Insert(const std::string& key, CachedPlan plan);
 
   size_t size() const;
+  /// Entries evicted by stale-stamp validation since construction.
+  size_t evictions() const;
   void Clear();
 
   static constexpr size_t kMaxEntries = 4096;
@@ -53,6 +85,7 @@ class PlanCache {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, CachedPlan> map_;
+  size_t evictions_ = 0;
 };
 
 }  // namespace plan

@@ -305,16 +305,17 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
   // skips statistics lookups and DP enumeration below; the cheap lowering
   // always runs. EXPLAIN never touches the cache (counters stay those of
   // real execution).
+  // The lookup itself is deferred until the FROM relations are resolved, so
+  // the cached join order can be validated against each base table's current
+  // (uid, data version) — a cached order costed on since-modified data is
+  // evicted rather than replayed (see PlanCache::Lookup).
   std::string cache_key;
   CachedPlan cached;
   bool have_cached = false;
-  if (ctx && ctx->cache && !for_explain) {
+  const bool use_cache = ctx && ctx->cache && !for_explain;
+  if (use_cache) {
     cache_key = PlanCache::ShapeKey(stmt, catalog);
-    have_cached = ctx->cache->Lookup(cache_key, &cached);
-    plan.plan_cache = have_cached ? 1 : 0;
   }
-  stats::StatsManager* stats_mgr =
-      cost_based && !have_cached ? ctx->stats : nullptr;
 
   bool select_star = false;
   for (const auto& item : stmt.select_list) {
@@ -337,8 +338,10 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
       filt->est_cols = 0;
       plan.data_root = filt;
     }
-    if (ctx && ctx->cache && !for_explain && !have_cached) {
-      ctx->cache->Insert(cache_key, CachedPlan());
+    if (use_cache) {
+      have_cached = ctx->cache->Lookup(cache_key, {}, &cached);
+      plan.plan_cache = have_cached ? 1 : 0;
+      if (!have_cached) ctx->cache->Insert(cache_key, CachedPlan());
     }
   } else {
     // Relations: FROM + every JOIN clause.
@@ -357,6 +360,23 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
           FoldConstants(stmt.joins[j].condition, /*bool_ctx=*/false, &folds);
       rel.orig = j + 1;
     }
+
+    // Stamp the resolved base tables and consult the cache. Subquery
+    // relations carry no stamp here — their own base tables are validated by
+    // the recursive PlanSelect for the subquery.
+    std::vector<TableStamp> stamps;
+    for (const auto& rel : rels) {
+      if (rel.base && rel.tbl) {
+        stamps.push_back({rel.tbl->name(), rel.tbl->uid(),
+                          static_cast<uint64_t>(rel.tbl->num_rows())});
+      }
+    }
+    if (use_cache) {
+      have_cached = ctx->cache->Lookup(cache_key, stamps, &cached);
+      plan.plan_cache = have_cached ? 1 : 0;
+    }
+    stats::StatsManager* stats_mgr =
+        cost_based && !have_cached ? ctx->stats : nullptr;
 
     // Predicate pushdown: single-relation WHERE conjuncts fuse into the
     // owning scan. The nullable side of a LEFT JOIN is the one unsafe
@@ -551,11 +571,12 @@ LogicalPlan PlanSelect(const sql::SelectStmt& stmt, const Catalog& catalog,
         if (from_dp) plan.joins_reordered_dp = true;
       }
     }
-    if (ctx && ctx->cache && !for_explain && !have_cached) {
+    if (use_cache && !have_cached) {
       CachedPlan entry;
       entry.order = order;
       entry.reordered = plan.joins_reordered;
       entry.reordered_dp = plan.joins_reordered_dp;
+      entry.stamps = std::move(stamps);
       ctx->cache->Insert(cache_key, std::move(entry));
     }
 

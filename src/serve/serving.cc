@@ -1,0 +1,108 @@
+#include "serve/serving.h"
+
+#include "util/check.h"
+
+namespace joinboost {
+namespace serve {
+
+bool ServingContext::AdmissionGate::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
+  while (free_ <= 0) {
+    waited = true;
+    cv_.wait(lock);
+  }
+  --free_;
+  return waited;
+}
+
+void ServingContext::AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++free_;
+  }
+  cv_.notify_one();
+}
+
+ServingContext::Admission::Admission(ServingContext* ctx) : ctx_(ctx) {
+  if (ctx_->gate_.Acquire()) ctx_->admission_waits_.fetch_add(1);
+}
+
+ServingContext::Admission::~Admission() { ctx_->gate_.Release(); }
+
+ServingContext::ServingContext(exec::Database* db,
+                               std::vector<std::string> served_tables)
+    : db_(db),
+      served_(std::move(served_tables)),
+      gate_(db->profile().serve_admission_slots > 0
+                ? db->profile().serve_admission_slots
+                : db->exec_threads()) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  PublishLocked(nullptr, nullptr);
+}
+
+SnapshotPtr ServingContext::PublishLocked(
+    std::shared_ptr<const core::Ensemble> model,
+    std::shared_ptr<const core::FlatForest> forest) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = db_->versions().PublishVersion();
+  for (const auto& name : served_) {
+    snap->tables.Register(db_->catalog().Get(name));
+  }
+  snap->model = std::move(model);
+  snap->forest = std::move(forest);
+  current_ = snap;
+  snapshots_published_.fetch_add(1);
+  return snap;
+}
+
+ServingContext::Session ServingContext::OpenSession() {
+  return Session(this, current());
+}
+
+SnapshotPtr ServingContext::current() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_;
+}
+
+SnapshotPtr ServingContext::Append(const std::string& table,
+                                   const exec::ExecTable& rows) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  db_->AppendRows(table, rows);
+  return PublishLocked(current_->model, current_->forest);
+}
+
+SnapshotPtr ServingContext::PublishModel(const core::Ensemble& model) {
+  auto owned = std::make_shared<const core::Ensemble>(model);
+  auto forest = std::make_shared<const core::FlatForest>(
+      core::FlatForest::Compile(*owned));
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return PublishLocked(std::move(owned), std::move(forest));
+}
+
+SnapshotPtr ServingContext::Republish() {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return PublishLocked(current_->model, current_->forest);
+}
+
+std::shared_ptr<exec::ExecTable> ServingContext::Session::Query(
+    const std::string& sql, const std::string& tag) {
+  Admission slot(ctx_);
+  auto result = ctx_->db_->QueryOn(snap_->tables, sql, tag);
+  ctx_->snapshot_reads_.fetch_add(1);
+  return result;
+}
+
+std::vector<double> ServingContext::Session::PredictBatch(
+    const exec::ExecTable& rows) {
+  JB_CHECK_MSG(snap_->forest != nullptr,
+               "PredictBatch before any model was published");
+  Admission slot(ctx_);
+  std::vector<double> out = snap_->forest->PredictBatch(rows);
+  ctx_->snapshot_reads_.fetch_add(1);
+  ctx_->batched_predictions_.fetch_add(rows.rows);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace joinboost

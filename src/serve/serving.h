@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/flat_forest.h"
+#include "core/model.h"
+#include "exec/engine.h"
+#include "storage/catalog.h"
+
+namespace joinboost {
+namespace serve {
+
+/// An immutable, versioned view of the served state: the table set as of
+/// publication plus the model (and its flat compilation) trained so far.
+///
+/// A snapshot's catalog holds the TablePtrs that were current when the
+/// snapshot was published. Writers never mutate published tables — appends
+/// and updates build replacements aside and install them with an atomic
+/// catalog swap — so everything reachable from a Snapshot is frozen: reads
+/// against it are reproducible bit-for-bit for as long as any session pins
+/// it, regardless of concurrent writer activity.
+struct Snapshot {
+  uint64_t version = 0;  ///< VersionStore::PublishVersion() id
+  Catalog tables;
+  std::shared_ptr<const core::Ensemble> model;      ///< null before training
+  std::shared_ptr<const core::FlatForest> forest;   ///< compiled `model`
+
+  Snapshot() = default;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// The concurrent serving layer: sessions read pinned snapshots while
+/// writers publish new versions.
+///
+/// Lifecycle of a version:
+///   1. a writer mutates the database (AppendRows / newly trained trees);
+///   2. it calls Append()/PublishModel(), which — under the publish lock —
+///      stamps a fresh version id (VersionStore::PublishVersion), captures
+///      the served tables' current TablePtrs into a new Snapshot, and swaps
+///      it in as `current_`;
+///   3. sessions opened afterwards pin the new snapshot; sessions opened
+///      before keep theirs alive through shared ownership. Old snapshots die
+///      when the last pinning session does.
+///
+/// Requests (queries and batched predictions) pass an admission gate — a
+/// counting semaphore sized by EngineProfile::serve_admission_slots (0 =
+/// exec_threads) — so that concurrent sessions cannot oversubscribe the
+/// engine's shared ThreadPool: at most `slots` requests fan their morsels
+/// out to the pool at once; the rest queue on the gate.
+///
+/// Determinism rules served to clients:
+///   - a session's reads are repeatable: same session, same query, same
+///     result, writer activity notwithstanding;
+///   - two sessions pinning the same version get bit-identical results;
+///   - Session::PredictBatch is bit-identical to per-row Ensemble::Predict
+///     against the same snapshot's model (see FlatForest).
+class ServingContext {
+ public:
+  /// `served_tables` lists the base tables snapshots capture — typically the
+  /// fact + dimension tables, not the trainer's transient temp tables.
+  /// Publishes version 1 immediately so sessions can open at once.
+  ServingContext(exec::Database* db, std::vector<std::string> served_tables);
+
+  ServingContext(const ServingContext&) = delete;
+  ServingContext& operator=(const ServingContext&) = delete;
+
+  /// A reader session pinned to one snapshot. Copyable; cheap (two
+  /// pointers). Safe to use from the owning thread only — open one session
+  /// per concurrent reader.
+  class Session {
+   public:
+    uint64_t version() const { return snap_->version; }
+    const Snapshot& snapshot() const { return *snap_; }
+
+    /// Run a SELECT against the pinned snapshot (admission-gated).
+    std::shared_ptr<exec::ExecTable> Query(const std::string& sql,
+                                           const std::string& tag = "serve");
+
+    /// Batched prediction over `rows` via the snapshot's flat forest
+    /// (admission-gated). Requires a published model.
+    std::vector<double> PredictBatch(const exec::ExecTable& rows);
+
+   private:
+    friend class ServingContext;
+    Session(ServingContext* ctx, SnapshotPtr snap)
+        : ctx_(ctx), snap_(std::move(snap)) {}
+    ServingContext* ctx_;
+    SnapshotPtr snap_;
+  };
+
+  /// Pin the current snapshot.
+  Session OpenSession();
+
+  /// Latest published snapshot.
+  SnapshotPtr current() const;
+
+  // ---- writer API (serialized on the publish lock) ----
+
+  /// Append rows to `table` copy-on-write and publish a new snapshot.
+  SnapshotPtr Append(const std::string& table, const exec::ExecTable& rows);
+
+  /// Publish a new model (e.g. after more boosting iterations), compiled to
+  /// a flat forest; table state is re-captured in the same snapshot.
+  SnapshotPtr PublishModel(const core::Ensemble& model);
+
+  /// Re-capture the served tables without changing the model — for writers
+  /// that mutated the database directly (UPDATE through SQL).
+  SnapshotPtr Republish();
+
+  // ---- deterministic counters (bench/serving.cc, CI guards) ----
+  uint64_t snapshots_published() const { return snapshots_published_.load(); }
+  /// Requests served from a pinned snapshot (queries + prediction batches).
+  uint64_t snapshot_reads() const { return snapshot_reads_.load(); }
+  /// Rows predicted through the flat-forest batched path.
+  uint64_t batched_predictions() const { return batched_predictions_.load(); }
+  /// Requests that found the admission gate full and had to queue.
+  uint64_t admission_waits() const { return admission_waits_.load(); }
+
+  exec::Database* db() { return db_; }
+
+ private:
+  /// Build + install a snapshot under publish_mu_ (caller holds it).
+  SnapshotPtr PublishLocked(std::shared_ptr<const core::Ensemble> model,
+                            std::shared_ptr<const core::FlatForest> forest);
+
+  /// Counting semaphore bounding concurrently executing requests.
+  class AdmissionGate {
+   public:
+    explicit AdmissionGate(int slots) : free_(slots) {}
+    /// Returns true when the caller had to wait for a slot.
+    bool Acquire();
+    void Release();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int free_;
+  };
+
+  /// RAII admission token.
+  class Admission {
+   public:
+    explicit Admission(ServingContext* ctx);
+    ~Admission();
+
+   private:
+    ServingContext* ctx_;
+  };
+
+  exec::Database* db_;
+  std::vector<std::string> served_;
+
+  mutable std::mutex publish_mu_;  ///< serializes writers + current_ swap
+  SnapshotPtr current_;
+
+  AdmissionGate gate_;
+  std::atomic<uint64_t> snapshots_published_{0};
+  std::atomic<uint64_t> snapshot_reads_{0};
+  std::atomic<uint64_t> batched_predictions_{0};
+  std::atomic<uint64_t> admission_waits_{0};
+};
+
+}  // namespace serve
+}  // namespace joinboost

@@ -68,6 +68,11 @@ struct EngineProfile {
   /// differential testing (§5.3.2 "Compression").
   bool compressed_exec = true;
 
+  /// Serving-layer admission control: maximum sessions executing a request
+  /// concurrently (queries or batched predictions). Extra requests queue on
+  /// the admission gate. 0 = match exec_threads.
+  int serve_admission_slots = 0;
+
   // ---- Presets matching the paper's systems ----
 
   /// Commercial columnar, disk-based: compression + WAL-to-disk, no swap.

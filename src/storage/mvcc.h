@@ -13,6 +13,11 @@ namespace joinboost {
 /// an undo record; RollbackLast() restores them (used by failure-injection
 /// tests). The copies are real memory traffic, which is the cost being
 /// modelled.
+///
+/// The store also issues the monotonically increasing snapshot version ids
+/// the serving layer publishes through: every writer that installs new table
+/// or model state calls PublishVersion() and stamps the resulting snapshot,
+/// so concurrent readers can pin "the database as of version v".
 class VersionStore {
  public:
   struct Undo {
@@ -59,7 +64,23 @@ class VersionStore {
     std::lock_guard<std::mutex> lock(mu_);
     return undo_.size();
   }
-  uint64_t bytes_versioned() const { return bytes_versioned_; }
+  uint64_t bytes_versioned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_versioned_;
+  }
+
+  /// Assign the next published snapshot version id (serving layer). Version
+  /// 0 is reserved for "nothing published yet".
+  uint64_t PublishVersion() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++published_version_;
+  }
+
+  /// Latest published version id (0 before the first publish).
+  uint64_t current_version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return published_version_;
+  }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -71,6 +92,7 @@ class VersionStore {
   std::vector<Undo> undo_;
   uint64_t next_txn_ = 0;
   uint64_t bytes_versioned_ = 0;
+  uint64_t published_version_ = 0;
 };
 
 }  // namespace joinboost

@@ -1,10 +1,15 @@
 #include "storage/table.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "util/check.h"
 
 namespace joinboost {
+
+namespace {
+std::atomic<uint64_t> g_next_table_uid{1};
+}  // namespace
 
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   for (size_t i = 0; i < fields_.size(); ++i) {
@@ -38,7 +43,8 @@ std::string Schema::ToString() const {
 Table::Table(std::string name, Schema schema, std::vector<ColumnPtr> columns)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      columns_(std::move(columns)) {
+      columns_(std::move(columns)),
+      uid_(g_next_table_uid.fetch_add(1, std::memory_order_relaxed)) {
   JB_CHECK_MSG(schema_.num_fields() == columns_.size(),
                "schema/column count mismatch in table " << name_);
   num_rows_ = columns_.empty() ? 0 : columns_[0]->size();
@@ -62,6 +68,7 @@ void Table::SetColumn(size_t i, ColumnPtr col) {
   JB_CHECK(col->size() == num_rows_);
   JB_CHECK(col->type() == schema_.field(i).type);
   columns_[i] = std::move(col);
+  ++structure_version_;
 }
 
 void Table::AddColumn(Field field, ColumnPtr col) {
@@ -71,6 +78,13 @@ void Table::AddColumn(Field field, ColumnPtr col) {
   JB_CHECK(col->type() == field.type);
   schema_.AddField(std::move(field));
   columns_.push_back(std::move(col));
+  ++structure_version_;
+}
+
+uint64_t Table::DataVersion() const {
+  uint64_t v = structure_version_;
+  for (const auto& c : columns_) v += c->version();
+  return v;
 }
 
 void Table::EncodeAll() {

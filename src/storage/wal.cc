@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 
 #include "util/check.h"
@@ -10,23 +11,58 @@
 
 namespace joinboost {
 
+namespace {
+
+/// Write `size` bytes fully, retrying short writes. Returns false on error.
+bool WriteFully(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = write(fd, p, remaining);
+    if (n <= 0) return false;
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// See WriteAheadLog::InjectWriteFailureForTest.
+std::atomic<bool> g_inject_write_failure{false};
+
+}  // namespace
+
+void WriteAheadLog::InjectWriteFailureForTest(bool fail) {
+  g_inject_write_failure.store(fail);
+}
+
 WriteAheadLog::WriteAheadLog(bool spill_to_disk, std::string path)
     : spill_to_disk_(spill_to_disk), path_(std::move(path)) {
   if (spill_to_disk_) {
     if (path_.empty()) {
       char tmpl[] = "/tmp/joinboost_wal_XXXXXX";
       fd_ = mkstemp(tmpl);
+      JB_CHECK_MSG(fd_ >= 0, "failed to create WAL temp file from template "
+                                 << tmpl);
       path_ = tmpl;
     } else {
-      fd_ = open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      fd_ = open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                 0644);
+      JB_CHECK_MSG(fd_ >= 0, "failed to open WAL file " << path_);
     }
-    JB_CHECK_MSG(fd_ >= 0, "failed to open WAL file " << path_);
+    // mkstemp has no O_CLOEXEC variant portably; set the flag on both paths
+    // so forked benchmark children never inherit (and pin) the log file.
+    fcntl(fd_, F_SETFD, FD_CLOEXEC);
   }
 }
 
 WriteAheadLog::~WriteAheadLog() {
+  // The log file is transient by contract (durability of table data is the
+  // catalog's job; the WAL models write traffic + crash replay within one
+  // process), so both temp and caller-named files are removed here — the one
+  // place teardown happens on every path, error or not.
   if (fd_ >= 0) {
     close(fd_);
+    fd_ = -1;
     unlink(path_.c_str());
   }
 }
@@ -61,7 +97,23 @@ void WriteAheadLog::LogInts(const std::string& table,
   Append(std::move(rec));
 }
 
+uint64_t WriteAheadLog::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+size_t WriteAheadLog::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<WriteAheadLog::Record> WriteAheadLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
 size_t WriteAheadLog::VerifyAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t ok = 0;
   for (const auto& rec : records_) {
     if (Fnv1a(rec.payload.data(), rec.payload.size()) == rec.checksum) ++ok;
@@ -80,17 +132,28 @@ void WriteAheadLog::Truncate() {
 
 void WriteAheadLog::Append(Record rec) {
   std::lock_guard<std::mutex> lock(mu_);
-  bytes_written_ += rec.payload.size() + rec.rows.size() * 4 + 64;
   if (fd_ >= 0) {
     // Real disk writes (no fsync — comparable to the paper's "minimum
     // logging" setting, but the data still moves through the page cache).
-    ssize_t n = write(fd_, rec.payload.data(), rec.payload.size());
-    JB_CHECK(n == static_cast<ssize_t>(rec.payload.size()));
-    if (!rec.rows.empty()) {
-      n = write(fd_, rec.rows.data(), rec.rows.size() * 4);
-      JB_CHECK(n == static_cast<ssize_t>(rec.rows.size() * 4));
+    // Disk-before-memory: a failed write truncates the partial bytes away
+    // and throws with the in-memory log untouched, so counters and records
+    // never report an append that is not fully on disk.
+    off_t start = lseek(fd_, 0, SEEK_CUR);
+    bool ok = !g_inject_write_failure.load() &&
+              WriteFully(fd_, rec.payload.data(), rec.payload.size());
+    if (ok && !rec.rows.empty()) {
+      ok = WriteFully(fd_, rec.rows.data(), rec.rows.size() * 4);
+    }
+    if (!ok) {
+      if (start >= 0) {
+        (void)ftruncate(fd_, start);
+        (void)lseek(fd_, start, SEEK_SET);
+      }
+      JB_THROW("WAL write failed for " << rec.table << "." << rec.column
+                                       << " (log file " << path_ << ")");
     }
   }
+  bytes_written_ += rec.payload.size() + rec.rows.size() * 4 + 64;
   records_.push_back(std::move(rec));
 }
 

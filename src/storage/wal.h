@@ -14,6 +14,15 @@ namespace joinboost {
 /// real one: every logical write serializes its payload with a checksum into
 /// the log buffer (optionally spilled to a disk file), and the log can be
 /// replayed into columns after a simulated crash (tested).
+///
+/// Thread-safety: all entry points (including the read-side accessors) take
+/// the internal mutex, so concurrent serving sessions can log and verify
+/// against the same WAL. The log file — whether an mkstemp temp file or a
+/// caller-provided path — is owned by this object: the fd is opened
+/// close-on-exec and the file is closed and unlinked exactly once in the
+/// destructor. A failed disk write leaves the log unchanged (the partial
+/// bytes are truncated away before the error propagates), so bytes_written()
+/// and num_records() never disagree with the on-disk state.
 class WriteAheadLog {
  public:
   struct Record {
@@ -37,9 +46,17 @@ class WriteAheadLog {
                const std::vector<uint32_t>& rows,
                const std::vector<int64_t>& values);
 
-  uint64_t bytes_written() const { return bytes_written_; }
-  size_t num_records() const { return records_.size(); }
-  const std::vector<Record>& records() const { return records_; }
+  uint64_t bytes_written() const;
+  size_t num_records() const;
+  /// Snapshot of the log records (copy: the live vector may grow while the
+  /// caller replays).
+  std::vector<Record> records() const;
+
+  /// Backing file path when spilling to disk ("" for in-memory logs). For
+  /// the default constructor this is the mkstemp-generated
+  /// /tmp/joinboost_wal_XXXXXX name; the file exists exactly for the
+  /// lifetime of this object.
+  const std::string& path() const { return path_; }
 
   /// Verify every record's checksum (as crash recovery would); returns the
   /// number of valid records.
@@ -47,13 +64,19 @@ class WriteAheadLog {
 
   void Truncate();
 
+  /// Failure-injection seam for tests: while set, disk-backed appends fail as
+  /// if the device were full, exercising the rollback path (partial bytes
+  /// truncated, in-memory log untouched, error thrown). Process-global;
+  /// affects spilling logs only.
+  static void InjectWriteFailureForTest(bool fail);
+
  private:
   void Append(Record rec);
 
   bool spill_to_disk_;
   std::string path_;
   int fd_ = -1;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<Record> records_;
   uint64_t bytes_written_ = 0;
 };

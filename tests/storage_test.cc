@@ -156,6 +156,55 @@ TEST(WalTest, DiskSpillToExplicitPath) {
   EXPECT_FALSE(std::filesystem::exists(path));
 }
 
+TEST(WalTest, MkstempTempFileLifecycle) {
+  // The default disk-spilling log creates its file via mkstemp; the object
+  // owns it: present (and named predictably) while the log lives, unlinked
+  // exactly once by the destructor.
+  std::string path;
+  {
+    WriteAheadLog wal(/*spill_to_disk=*/true);
+    path = wal.path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.rfind("/tmp/joinboost_wal_", 0), 0u) << path;
+    EXPECT_TRUE(std::filesystem::exists(path));
+    wal.LogInts("f", "d", {}, {1, 2, 3});
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(WalTest, ConstructorFailureDoesNotLeakAFile) {
+  test_util::TempDir tmp;
+  std::string bad = tmp.File("no_such_dir") + "/wal.bin";
+  EXPECT_THROW(WriteAheadLog(true, bad), JbError);
+  EXPECT_FALSE(std::filesystem::exists(bad));
+}
+
+TEST(WalTest, FailedDiskWriteLeavesLogAndFileUnchanged) {
+  // Failure injection: a write that dies mid-append must roll the file back
+  // and leave the in-memory log untouched, so counters never report an
+  // append that is not fully on disk — and the log stays usable after.
+  test_util::TempDir tmp;
+  std::string path = tmp.File("wal.bin");
+  WriteAheadLog wal(/*spill_to_disk=*/true, path);
+  wal.LogDoubles("f", "s", {}, {1.0, 2.0, 3.0});
+  const uint64_t bytes_before = wal.bytes_written();
+  const auto file_before = std::filesystem::file_size(path);
+
+  WriteAheadLog::InjectWriteFailureForTest(true);
+  EXPECT_THROW(wal.LogDoubles("f", "s", {0, 1}, {4.0, 5.0}), JbError);
+  WriteAheadLog::InjectWriteFailureForTest(false);
+
+  EXPECT_EQ(wal.num_records(), 1u);
+  EXPECT_EQ(wal.bytes_written(), bytes_before);
+  EXPECT_EQ(std::filesystem::file_size(path), file_before);
+
+  wal.LogDoubles("f", "s", {0, 1}, {4.0, 5.0});
+  EXPECT_EQ(wal.num_records(), 2u);
+  EXPECT_EQ(wal.VerifyAll(), 2u);
+  EXPECT_GT(std::filesystem::file_size(path), file_before);
+}
+
 TEST(WalTest, ReplayRestoresColumnAfterCrash) {
   // Failure injection: apply the WAL to a column that "lost" its update.
   WriteAheadLog wal(false);
