@@ -60,16 +60,22 @@ void DistributedTrainer::Partition(Dataset& source) {
         std::vector<double> dst;
         dst.reserve(shard_rows.size());
         for (uint32_t r : shard_rows) dst.push_back(src[r]);
-        cols.push_back(ColumnData::MakeDoubles(std::move(dst)));
+        cols.push_back(ColumnBuilder(TypeId::kFloat64)
+                           .AppendDoubles(std::move(dst))
+                           .Build());
       } else {
         std::vector<int64_t> src = col->DecodeInts();
         std::vector<int64_t> dst;
         dst.reserve(shard_rows.size());
         for (uint32_t r : shard_rows) dst.push_back(src[r]);
         if (col->type() == TypeId::kString) {
-          cols.push_back(ColumnData::MakeDictCodes(std::move(dst), col->dict()));
+          cols.push_back(ColumnBuilder(TypeId::kString, col->dict())
+                             .AppendCodes(std::move(dst))
+                             .Build());
         } else {
-          cols.push_back(ColumnData::MakeInts(std::move(dst)));
+          cols.push_back(ColumnBuilder(TypeId::kInt64)
+                             .AppendInts(std::move(dst))
+                             .Build());
         }
       }
     }

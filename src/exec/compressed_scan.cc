@@ -74,11 +74,12 @@ bool IsCmpOp(const std::string& op) {
 /// against numeric literals, string columns against string literals (codes
 /// compare numerically once the literal is translated through the column's
 /// dictionary — same-dictionary comparison semantics), and IS [NOT] NULL.
-/// Everything else stays a residual conjunct.
+/// Everything else stays a residual conjunct. `enc` flags the subset columns
+/// whose every chunk is int/string-encoded (anchor candidates).
 bool LowerConjunct(const sql::Expr& e, const Table& table,
                    const std::string& qualifier, const std::vector<int>& cols,
-                   const std::vector<std::shared_ptr<const EncodedInts>>& enc,
-                   EvalContext& ectx, Lowered* out) {
+                   const std::vector<uint8_t>& enc, EvalContext& ectx,
+                   Lowered* out) {
   if (e.kind == sql::ExprKind::kIsNull) {
     if (e.args[0]->kind != sql::ExprKind::kColumnRef) return false;
     int c = ResolveRef(*e.args[0], table, qualifier, cols);
@@ -248,20 +249,78 @@ CompressedScanResult TryCompressedScan(const Table& table,
   const size_t n_cols = cols.size();
   if (rows == 0 || n_cols == 0) return res;
 
-  std::vector<std::shared_ptr<const EncodedInts>> enc(n_cols);
-  std::vector<std::shared_ptr<const EncodedDoubles>> encd(n_cols);
+  // Encoded columns participate via a *shared* global block layout derived
+  // from their chunk boundaries: block b covers rows
+  // [layout[b].row_begin, row_begin + count) and belongs to chunk
+  // layout[b].chunk. A single-chunk column reproduces the flat
+  // b * kBlockSize layout exactly. Columns whose chunk boundaries disagree
+  // (possible after a column swap) make the scan bail to the
+  // decode-everything path — correctness never depends on a shared layout.
+  struct BlockSpan {
+    size_t row_begin = 0;
+    uint32_t count = 0;
+    uint32_t chunk = 0;
+  };
+  std::vector<uint8_t> enc_int(n_cols, 0);
+  std::vector<uint8_t> enc_dbl(n_cols, 0);
+  const std::vector<size_t>* ref_offsets = nullptr;
   bool any_encoded = false;
   for (size_t c = 0; c < n_cols; ++c) {
     const auto& col = table.column(static_cast<size_t>(cols[c]));
     if (!col->encoded()) continue;
     any_encoded = true;
+    for (const auto& ch : col->chunks()) {
+      // Mixed plain/encoded chunk lists (possible only through exotic swap
+      // sequences) are not worth a third code path here.
+      if (!ch->encoded) return res;
+    }
+    if (ref_offsets == nullptr) {
+      ref_offsets = &col->chunk_offsets();
+    } else if (col->chunk_offsets() != *ref_offsets) {
+      return res;
+    }
     if (col->type() == TypeId::kFloat64) {
-      encd[c] = col->EncodedDoublesPayload();
+      enc_dbl[c] = 1;
     } else {
-      enc[c] = col->EncodedIntsPayload();
+      enc_int[c] = 1;
     }
   }
   if (!any_encoded) return res;
+
+  std::vector<BlockSpan> layout;
+  // Per-chunk [first, last) global block ids, for chunk-level accounting.
+  std::vector<std::pair<size_t, size_t>> chunk_blocks;
+  chunk_blocks.reserve(ref_offsets->size() - 1);
+  for (size_t ci = 0; ci + 1 < ref_offsets->size(); ++ci) {
+    const size_t cbegin = (*ref_offsets)[ci];
+    const size_t crows = (*ref_offsets)[ci + 1] - cbegin;
+    const size_t first = layout.size();
+    for (size_t o = 0; o < crows; o += kBlockSize) {
+      layout.push_back({cbegin + o,
+                        static_cast<uint32_t>(std::min(kBlockSize, crows - o)),
+                        static_cast<uint32_t>(ci)});
+    }
+    chunk_blocks.emplace_back(first, layout.size());
+  }
+  // Per-column block pointer arrays in global block order.
+  std::vector<std::vector<const EncodedInts::Block*>> iblk(n_cols);
+  std::vector<std::vector<const EncodedDoubles::Block*>> dblk(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    if (!enc_int[c] && !enc_dbl[c]) continue;
+    const auto& col = table.column(static_cast<size_t>(cols[c]));
+    auto& iv = iblk[c];
+    auto& dv = dblk[c];
+    for (const auto& ch : col->chunks()) {
+      if (enc_int[c]) {
+        for (const auto& b : ch->enc_ints->blocks) iv.push_back(&b);
+      } else {
+        for (const auto& b : ch->enc_dbls->blocks) dv.push_back(&b);
+      }
+    }
+    const size_t got = enc_int[c] ? iv.size() : dv.size();
+    if (got != layout.size()) return res;  // defensive: layout disagreement
+  }
+  const auto& enc = enc_int;  // anchor-candidate flags for LowerConjunct
 
   std::vector<const sql::Expr*> conjuncts;
   SplitAnd(&filter, &conjuncts);
@@ -290,10 +349,7 @@ CompressedScanResult TryCompressedScan(const Table& table,
     }
   }
 
-  const size_t n_blocks = (rows + kBlockSize - 1) / kBlockSize;
-  auto block_count = [&](size_t b) {
-    return std::min(kBlockSize, rows - b * kBlockSize);
-  };
+  const size_t n_blocks = layout.size();
 
   // ---- Phase A: lowered conjuncts over zone maps + packed blocks ----
   std::vector<uint8_t> mask(rows, 1);
@@ -302,16 +358,16 @@ CompressedScanResult TryCompressedScan(const Table& table,
   // only on predicate outcomes — never on morsel or thread layout.
   std::vector<std::vector<uint8_t>> touched(n_cols);
   for (size_t c = 0; c < n_cols; ++c) {
-    if (enc[c] || encd[c]) touched[c].assign(n_blocks, 0);
+    if (enc_int[c] || enc_dbl[c]) touched[c].assign(n_blocks, 0);
   }
 
   for (const Lowered& p : lowered) {
-    const EncodedInts& payload = *enc[p.col];
+    const EncodedInts::Block* const* pblocks = iblk[p.col].data();
     uint8_t* touch = touched[p.col].data();
     auto process = [&](size_t b) {
       if (!block_alive[b]) return;  // already dead: no decode, stays skipped
-      const EncodedInts::Block& blk = payload.blocks[b];
-      const size_t base = b * kBlockSize;
+      const EncodedInts::Block& blk = *pblocks[b];
+      const size_t base = layout[b].row_begin;
       Verdict v = Classify(p, blk);
       if (v == Verdict::kAll) return;
       if (v == Verdict::kNone) {
@@ -344,8 +400,8 @@ CompressedScanResult TryCompressedScan(const Table& table,
   sel.reserve(rows / 4);
   for (size_t b = 0; b < n_blocks; ++b) {
     if (!block_alive[b]) continue;
-    const size_t base = b * kBlockSize;
-    const size_t cnt = block_count(b);
+    const size_t base = layout[b].row_begin;
+    const size_t cnt = layout[b].count;
     for (size_t i = 0; i < cnt; ++i) {
       if (mask[base + i]) sel.push_back(static_cast<uint32_t>(base + i));
     }
@@ -353,54 +409,81 @@ CompressedScanResult TryCompressedScan(const Table& table,
 
   // Late materialization of column `c` at the (ascending) surviving rows:
   // encoded payloads unpack one block at a time, only for blocks that still
-  // hold survivors; plain payloads gather directly.
+  // hold survivors (a monotone cursor over the global layout maps rows to
+  // blocks); plain payloads gather through their own chunk list.
   auto materialize_at = [&](size_t c,
                             const std::vector<uint32_t>& at) -> VectorData {
     const auto& col = table.column(static_cast<size_t>(cols[c]));
     VectorData v;
     v.type = col->type();
     v.dict = col->dict();
-    if (encd[c]) {
+    if (enc_dbl[c]) {
       std::vector<double> out;
       out.reserve(at.size());
       std::vector<double> buf(kBlockSize);
+      size_t bi = 0;
       size_t cur = n_blocks;  // sentinel: no block decoded yet
       for (uint32_t r : at) {
-        size_t b = r / kBlockSize;
-        if (b != cur) {
-          compression::DecodeDoublesBlock(encd[c]->blocks[b], buf.data());
-          touched[c][b] = 1;
-          cur = b;
+        while (r >= layout[bi].row_begin + layout[bi].count) ++bi;
+        if (bi != cur) {
+          compression::DecodeDoublesBlock(*dblk[c][bi], buf.data());
+          touched[c][bi] = 1;
+          cur = bi;
         }
-        out.push_back(buf[r % kBlockSize]);
+        out.push_back(buf[r - layout[bi].row_begin]);
       }
       v.dbls = std::make_shared<const std::vector<double>>(std::move(out));
-    } else if (enc[c]) {
+    } else if (enc_int[c]) {
       std::vector<int64_t> out;
       out.reserve(at.size());
       int64_t buf[kBlockSize];
+      size_t bi = 0;
       size_t cur = n_blocks;
       for (uint32_t r : at) {
-        size_t b = r / kBlockSize;
-        if (b != cur) {
-          compression::UnpackBlock(enc[c]->blocks[b], buf);
-          touched[c][b] = 1;
-          cur = b;
+        while (r >= layout[bi].row_begin + layout[bi].count) ++bi;
+        if (bi != cur) {
+          compression::UnpackBlock(*iblk[c][bi], buf);
+          touched[c][bi] = 1;
+          cur = bi;
         }
-        out.push_back(buf[r % kBlockSize]);
+        out.push_back(buf[r - layout[bi].row_begin]);
       }
       v.ints = std::make_shared<const std::vector<int64_t>>(std::move(out));
     } else if (col->type() == TypeId::kFloat64) {
-      const auto& src = *col->PlainDoubles();
+      // Plain column (every chunk plain — partially encoded columns bailed
+      // above): gather through the chunk list with a monotone cursor.
+      const auto& offs = col->chunk_offsets();
       std::vector<double> out;
       out.reserve(at.size());
-      for (uint32_t r : at) out.push_back(src[r]);
+      size_t ci = 0;
+      const double* src = nullptr;
+      size_t cbegin = 0, cend = 0;
+      for (uint32_t r : at) {
+        if (r >= cend) {
+          while (r >= offs[ci + 1]) ++ci;
+          src = col->chunk(ci)->dbls->data();
+          cbegin = offs[ci];
+          cend = offs[ci + 1];
+        }
+        out.push_back(src[r - cbegin]);
+      }
       v.dbls = std::make_shared<const std::vector<double>>(std::move(out));
     } else {
-      const auto& src = *col->PlainInts();
+      const auto& offs = col->chunk_offsets();
       std::vector<int64_t> out;
       out.reserve(at.size());
-      for (uint32_t r : at) out.push_back(src[r]);
+      size_t ci = 0;
+      const int64_t* src = nullptr;
+      size_t cbegin = 0, cend = 0;
+      for (uint32_t r : at) {
+        if (r >= cend) {
+          while (r >= offs[ci + 1]) ++ci;
+          src = col->chunk(ci)->ints->data();
+          cbegin = offs[ci];
+          cend = offs[ci + 1];
+        }
+        out.push_back(src[r - cbegin]);
+      }
       v.ints = std::make_shared<const std::vector<int64_t>>(std::move(out));
     }
     return v;
@@ -458,13 +541,27 @@ CompressedScanResult TryCompressedScan(const Table& table,
     for (size_t b = 0; b < n_blocks; ++b) {
       if (touched[c][b]) {
         ++t_blocks;
-        t_cells += block_count(b);
+        t_cells += layout[b].count;
       }
     }
     if (t_blocks > 0) ++res.cols_decompressed;
     res.cells_decompressed += t_cells;
     res.cells_avoided += rows - t_cells;
     res.blocks_skipped += n_blocks - t_blocks;
+  }
+  // A chunk counts as pruned when zone maps alone eliminated every one of
+  // its blocks — no column ever unpacked a block in it. Like the block
+  // counters this depends only on predicate outcomes, never on threads.
+  for (const auto& [first, last] : chunk_blocks) {
+    if (first == last) continue;  // empty chunk: nothing was skipped
+    bool pruned = true;
+    for (size_t b = first; b < last && pruned; ++b) {
+      if (block_alive[b]) pruned = false;
+      for (size_t c = 0; c < n_cols && pruned; ++c) {
+        if (!touched[c].empty() && touched[c][b]) pruned = false;
+      }
+    }
+    if (pruned) ++res.chunks_pruned;
   }
   res.used = true;
   return res;

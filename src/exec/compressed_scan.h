@@ -21,6 +21,9 @@ struct CompressedScanResult {
   size_t cells_decompressed = 0;  ///< sum of touched blocks' value counts
   size_t cells_avoided = 0;       ///< encoded cells never materialized
   size_t blocks_skipped = 0;      ///< encoded blocks never materialized
+  size_t chunks_pruned = 0;       ///< horizontal storage chunks whose blocks
+                                  ///< were all eliminated by zone maps alone
+                                  ///< (no block in the chunk ever decoded)
 };
 
 /// Evaluate `filter` over the (pruned) column subset of `table` directly on

@@ -142,21 +142,10 @@ std::shared_ptr<ExecTable> Database::Query(const std::string& sql_text,
 std::shared_ptr<ExecTable> Database::QueryOn(const Catalog& cat,
                                              const std::string& sql_text,
                                              const std::string& tag) {
-  Timer timer;
-  sql::Statement stmt = sql::Parse(sql_text);
-  JB_CHECK_MSG(stmt.kind == sql::Statement::Kind::kSelect,
-               "QueryOn() supports SELECT statements only");
-  auto table = std::make_shared<ExecTable>(RunSelectOn(cat, *stmt.select));
-  QueryLogEntry entry;
-  entry.tag = tag;
-  entry.sql = sql_text;
-  entry.ms = timer.Millis();
-  entry.rows_out = table->rows;
-  {
-    std::lock_guard<std::mutex> lock(log_mu_);
-    query_log_.push_back(std::move(entry));
-  }
-  return table;
+  ReadContext rctx;
+  rctx.catalog = &cat;
+  rctx.tag = tag;
+  return Query(rctx, sql_text);
 }
 
 double Database::QueryScalarDouble(const std::string& sql_text,
@@ -196,39 +185,73 @@ Database::Result Database::ExecuteStatement(const sql::Statement& stmt) {
 }
 
 ExecTable Database::RunSelect(const sql::SelectStmt& stmt) {
-  return RunSelectOn(catalog_, stmt);
+  return Query(ReadContext{}, stmt);
 }
 
 ExecTable Database::RunSelectOn(const Catalog& cat,
                                 const sql::SelectStmt& stmt) {
+  ReadContext rctx;
+  rctx.catalog = &cat;
+  return Query(rctx, stmt);
+}
+
+std::shared_ptr<ExecTable> Database::Query(const ReadContext& rctx,
+                                           const std::string& sql_text) {
+  Timer timer;
+  sql::Statement stmt = sql::Parse(sql_text);
+  JB_CHECK_MSG(stmt.kind == sql::Statement::Kind::kSelect,
+               "Query(ReadContext) supports SELECT statements only");
+  auto table = std::make_shared<ExecTable>(Query(rctx, *stmt.select));
+  QueryLogEntry entry;
+  entry.tag = rctx.tag;
+  entry.sql = sql_text;
+  entry.ms = timer.Millis();
+  entry.rows_out = table->rows;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_.push_back(std::move(entry));
+  }
+  return table;
+}
+
+ExecTable Database::Query(const ReadContext& rctx,
+                          const sql::SelectStmt& stmt) {
+  const Catalog& cat = rctx.catalog ? *rctx.catalog : catalog_;
+  const EngineProfile& prof = rctx.profile ? *rctx.profile : profile_;
+
   plan::PlanStats local;
   OpContext octx;
-  octx.row_mode = !profile_.columnar_exec;
-  octx.threads = exec_threads_;
+  octx.row_mode = !prof.columnar_exec;
+  // A profile override may lower the thread budget but never exceeds the
+  // pool the database was built with.
+  octx.threads = std::max(1, std::min(prof.exec_threads, exec_threads_));
   octx.pool = pool_.get();
-  octx.interop_scan = profile_.dataframe_interop;
+  octx.interop_scan = prof.dataframe_interop;
   octx.stats = &local;
-  octx.morsel_rows = profile_.morsel_rows;
-  octx.parallel_threshold = profile_.parallel_threshold_rows;
-  octx.compressed_exec = profile_.compressed_exec && profile_.compression;
+  octx.morsel_rows = prof.morsel_rows;
+  octx.parallel_threshold = prof.parallel_threshold_rows;
+  octx.compressed_exec = prof.compressed_exec && prof.compression;
 
   EvalContext ectx;
-  // Subqueries resolve through the same catalog, so a pinned snapshot covers
-  // the whole statement.
-  ectx.run_subquery = [this, &cat](const sql::SelectStmt& sub) {
-    return RunSelectOn(cat, sub);
+  // Subqueries resolve through the same ReadContext, so a pinned snapshot
+  // (and any profile override) covers the whole statement.
+  ectx.run_subquery = [this, &rctx](const sql::SelectStmt& sub) {
+    return Query(rctx, sub);
   };
 
   ExecTable current;
-  if (profile_.use_planner) {
+  if (prof.use_planner) {
     plan::PlannerContext pctx;
-    if (profile_.cost_based_planner) {
+    if (prof.cost_based_planner) {
       pctx.stats = &stats_mgr_;
       pctx.cache = &plan_cache_;
     }
+    plan::ParallelPolicy policy;
+    policy.threads = prof.columnar_exec ? octx.threads : 1;  // X-row is serial
+    policy.morsel_rows = prof.morsel_rows;
+    policy.threshold_rows = prof.parallel_threshold_rows;
     plan::LogicalPlan lp =
-        plan::PlanSelect(stmt, cat, /*for_explain=*/false,
-                         parallel_policy(), &pctx);
+        plan::PlanSelect(stmt, cat, /*for_explain=*/false, policy, &pctx);
     ++local.queries_planned;
     local.predicates_pushed += lp.predicates_pushed;
     local.constants_folded += lp.constants_folded;
@@ -339,9 +362,10 @@ ExecTable Database::ExecutePlanNode(const Catalog& cat,
       return ScanTable(*base, op.qualifier, octx, spec);
     }
     case plan::OpKind::kSubqueryScan: {
-      // The nested SELECT is planned by its own RunSelectOn (same catalog);
-      // the child node in the tree is for EXPLAIN only.
-      ExecTable t = RunSelectOn(cat, *op.subquery);
+      // The nested SELECT is planned by its own Query() through the
+      // statement's run_subquery hook (same ReadContext — catalog and profile
+      // overrides included); the child node in the tree is for EXPLAIN only.
+      ExecTable t = ectx.run_subquery(*op.subquery);
       for (auto& c : t.cols) c.qualifier = op.qualifier;
       if (op.filter) t = FilterExec(t, *op.filter, ectx, octx);
       return t;
@@ -389,7 +413,7 @@ ExecTable Database::RunFromWhere(const Catalog& cat,
       TablePtr base = cat.Get(ref.name);
       t = ScanTable(*base, ref.Qualifier(), octx);
     } else {
-      t = RunSelectOn(cat, *ref.subquery);
+      t = ectx.run_subquery(*ref.subquery);
       for (auto& c : t.cols) c.qualifier = ref.Qualifier();
     }
     if (!allow_pushdown) return t;
@@ -571,6 +595,19 @@ void Database::RegisterTable(const TablePtr& table) {
 }
 
 void Database::LoadTable(const TablePtr& table) {
+  // Apply the storage profile's horizontal chunking before compression so
+  // every chunk gets its own independently decodable payload. Dataframe
+  // tables stay monolithic: the interop scan shares their single plain
+  // payload by pointer.
+  if (profile_.chunk_rows > 0 && !table->dataframe()) {
+    table->Rechunk(profile_.chunk_rows);
+    size_t created = 0;
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      created += table->column(i)->num_chunks();
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    plan_stats_.chunks_created += created;
+  }
   if (profile_.compression && !table->dataframe()) table->EncodeAll();
   catalog_.Register(table);
 }
@@ -580,21 +617,25 @@ TablePtr Database::MaterializeResult(const std::string& name,
                                      bool as_dataframe) {
   Schema schema;
   std::vector<ColumnPtr> cols;
+  size_t created = 0;
+  // Dataframe tables stay monolithic (interop scans share the single plain
+  // payload); everything else chunks per the profile. At chunk_rows == 0 the
+  // Adopt* path is zero-copy, exactly like the pre-chunking layout.
+  const size_t chunk_rows = as_dataframe ? 0 : profile_.chunk_rows;
   for (size_t i = 0; i < result.cols.size(); ++i) {
     const auto& c = result.cols[i];
     std::string col_name = c.name.empty() ? "col" + std::to_string(i) : c.name;
     schema.AddField({col_name, c.data.type});
-    switch (c.data.type) {
-      case TypeId::kInt64:
-        cols.push_back(ColumnData::AdoptInts(c.data.ints));
-        break;
-      case TypeId::kFloat64:
-        cols.push_back(ColumnData::AdoptDoubles(c.data.dbls));
-        break;
-      case TypeId::kString:
-        cols.push_back(ColumnData::AdoptCodes(c.data.ints, c.data.dict));
-        break;
+    ColumnBuilder b(c.data.type,
+                    c.data.type == TypeId::kString ? c.data.dict : nullptr);
+    b.ChunkRows(chunk_rows);
+    if (c.data.type == TypeId::kFloat64) {
+      b.AdoptDoubles(c.data.dbls);
+    } else {
+      b.AdoptInts(c.data.ints);
     }
+    cols.push_back(b.Build());
+    created += cols.back()->num_chunks();
   }
   auto table = std::make_shared<Table>(name, std::move(schema), std::move(cols));
   table->set_dataframe(as_dataframe);
@@ -615,6 +656,10 @@ TablePtr Database::MaterializeResult(const std::string& name,
     }
   }
   catalog_.Register(table);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    plan_stats_.chunks_created += created;
+  }
   return table;
 }
 
@@ -687,6 +732,8 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
   // a mid-update mix (column A rewritten, column B not yet) to a concurrent
   // reader despite update_mu_, which only serializes writers.
   std::vector<ColumnPtr> new_cols = table->columns();
+  size_t chunks_rewritten = 0;
+  size_t chunks_created = 0;
   for (const auto& [col_name, expr] : stmt.set_items) {
     int idx = table->schema().FieldIndex(col_name);
     JB_CHECK_MSG(idx >= 0, "UPDATE: no column " << col_name);
@@ -717,7 +764,12 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
       if (profile_.wal) {
         wal_->LogDoubles(stmt.table, col_name, touched, new_touched);
       }
-      replacement = ColumnData::MakeDoubles(std::move(data));
+      // Preserve the column's chunk layout so the rewrite is invisible to
+      // chunk-aligned consumers (same boundaries, new segment identities).
+      replacement = ColumnBuilder(TypeId::kFloat64)
+                        .ChunkOffsets(col->chunk_offsets())
+                        .AppendDoubles(std::move(data))
+                        .Build();
     } else {
       std::vector<int64_t> data = col->DecodeInts();
       std::vector<int64_t> old_touched;
@@ -737,18 +789,31 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
       if (profile_.wal) {
         wal_->LogInts(stmt.table, col_name, touched, new_touched);
       }
-      replacement = col->type() == TypeId::kString
-                        ? ColumnData::MakeDictCodes(std::move(data),
-                                                    col->dict())
-                        : ColumnData::MakeInts(std::move(data));
+      replacement =
+          col->type() == TypeId::kString
+              ? ColumnBuilder(TypeId::kString, col->dict())
+                    .ChunkOffsets(col->chunk_offsets())
+                    .AppendCodes(std::move(data))
+                    .Build()
+              : ColumnBuilder(TypeId::kInt64)
+                    .ChunkOffsets(col->chunk_offsets())
+                    .AppendInts(std::move(data))
+                    .Build();
     }
     if (profile_.compression && !table->dataframe()) replacement->Encode();
+    chunks_rewritten += col->num_chunks();
+    chunks_created += replacement->num_chunks();
     new_cols[static_cast<size_t>(idx)] = std::move(replacement);
   }
   auto updated = std::make_shared<Table>(stmt.table, table->schema(),
                                          std::move(new_cols));
   updated->set_dataframe(table->dataframe());
   catalog_.Register(updated);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    plan_stats_.chunks_rewritten += chunks_rewritten;
+    plan_stats_.chunks_created += chunks_created;
+  }
   return touched.size();
 }
 
@@ -757,11 +822,19 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
   TablePtr table = catalog_.Get(name);
   JB_CHECK_MSG(rows.cols.size() >= table->num_columns(),
                "AppendRows: batch has fewer columns than " << name);
+  if (rows.rows == 0) return table;  // nothing to seal
   if (profile_.mvcc) versions_.BeginTxn();
 
   // Copy-on-write growth, same publication discipline as ExecuteUpdate: the
   // grown table is built aside and swapped in atomically, so readers see the
-  // old or the new row count, never a ragged intermediate.
+  // old or the new row count, never a ragged intermediate. The batch is
+  // sealed into NEW chunks behind the existing segment list, which is reused
+  // by pointer — the append is O(new rows) and chunks_rewritten stays 0.
+  // Dataframe tables are the exception: interop scans share a single plain
+  // payload, so they rebuild monolithically (and the rebuild is counted).
+  const bool monolithic = table->dataframe();
+  size_t chunks_created = 0;
+  size_t chunks_rewritten = 0;
   std::vector<ColumnPtr> new_cols;
   new_cols.reserve(table->num_columns());
   for (size_t i = 0; i < table->num_columns(); ++i) {
@@ -770,52 +843,102 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
     JB_CHECK_MSG(src >= 0, "AppendRows: batch lacks column " << field.name);
     const VectorData& v = rows.cols[static_cast<size_t>(src)].data;
     const ColumnPtr& col = table->column(i);
-    ColumnPtr grown;
+
+    // Build the batch values (per type), logging them to the WAL. Only the
+    // incoming rows are touched here — existing segments are never decoded.
+    ColumnBuilder batch_builder(
+        field.type, field.type == TypeId::kString
+                        ? std::make_shared<Dictionary>(*col->dict())
+                        : nullptr);
+    batch_builder.ChunkRows(monolithic ? 0 : profile_.chunk_rows);
     if (field.type == TypeId::kFloat64) {
       JB_CHECK_MSG(v.type == TypeId::kFloat64,
                    "AppendRows: type mismatch for " << field.name);
-      std::vector<double> data = col->DecodeDoubles();
-      data.insert(data.end(), v.dbls->begin(), v.dbls->end());
       if (profile_.wal) {
         wal_->LogDoubles(name, field.name, {},
                          std::vector<double>(v.dbls->begin(), v.dbls->end()));
       }
-      grown = ColumnData::MakeDoubles(std::move(data));
+      batch_builder.AppendDoubles(
+          std::vector<double>(v.dbls->begin(), v.dbls->end()));
     } else if (field.type == TypeId::kString) {
       JB_CHECK_MSG(v.type == TypeId::kString && v.dict,
                    "AppendRows: type mismatch for " << field.name);
       // The dictionary is shared with concurrent readers of the old table
       // and must not grow under them: copy it, then translate the incoming
-      // codes against the copy.
-      auto dict = std::make_shared<Dictionary>(*col->dict());
-      std::vector<int64_t> data = col->DecodeInts();
+      // codes against the copy. The copy is an append-only superset, so the
+      // codes inside existing (reused) segments stay valid.
+      Dictionary& dict = *batch_builder.dict();
       std::vector<int64_t> appended;
       appended.reserve(v.ints->size());
       for (int64_t code : *v.ints) {
         appended.push_back(code == kNullInt64 ? kNullInt64
-                                              : dict->GetOrAdd(v.dict->At(code)));
+                                              : dict.GetOrAdd(v.dict->At(code)));
       }
       if (profile_.wal) wal_->LogInts(name, field.name, {}, appended);
-      data.insert(data.end(), appended.begin(), appended.end());
-      grown = ColumnData::MakeDictCodes(std::move(data), std::move(dict));
+      batch_builder.AppendCodes(std::move(appended));
     } else {
       JB_CHECK_MSG(v.type == TypeId::kInt64,
                    "AppendRows: type mismatch for " << field.name);
-      std::vector<int64_t> data = col->DecodeInts();
-      data.insert(data.end(), v.ints->begin(), v.ints->end());
       if (profile_.wal) {
         wal_->LogInts(name, field.name, {},
                       std::vector<int64_t>(v.ints->begin(), v.ints->end()));
       }
-      grown = ColumnData::MakeInts(std::move(data));
+      batch_builder.AppendInts(
+          std::vector<int64_t>(v.ints->begin(), v.ints->end()));
     }
-    if (profile_.compression && !table->dataframe()) grown->Encode();
+    DictionaryPtr grown_dict = batch_builder.dict();
+    ColumnPtr batch_col = batch_builder.Build();
+    if (profile_.compression && !monolithic) batch_col->Encode();
+
+    ColumnPtr grown;
+    if (monolithic) {
+      // Dataframe rebuild: one plain chunk spanning old + new rows.
+      ColumnBuilder rebuilt(field.type, grown_dict);
+      if (field.type == TypeId::kFloat64) {
+        std::vector<double> data = col->DecodeDoubles();
+        std::vector<double> tail = batch_col->DecodeDoubles();
+        data.insert(data.end(), tail.begin(), tail.end());
+        rebuilt.AppendDoubles(std::move(data));
+      } else {
+        std::vector<int64_t> data = col->DecodeInts();
+        std::vector<int64_t> tail = batch_col->DecodeInts();
+        data.insert(data.end(), tail.begin(), tail.end());
+        if (field.type == TypeId::kString) {
+          rebuilt.AppendCodes(std::move(data));
+        } else {
+          rebuilt.AppendInts(std::move(data));
+        }
+      }
+      grown = rebuilt.Build();
+      chunks_rewritten += col->num_chunks();
+      chunks_created += grown->num_chunks();
+    } else {
+      // Seal: old segments reused by pointer, batch segments behind them.
+      // A zero-row placeholder chunk (freshly created empty table) is
+      // dropped rather than carried forward.
+      std::vector<ChunkPtr> merged;
+      merged.reserve(col->num_chunks() + batch_col->num_chunks());
+      for (const auto& ch : col->chunks()) {
+        if (ch->rows > 0) merged.push_back(ch);
+      }
+      for (const auto& ch : batch_col->chunks()) merged.push_back(ch);
+      chunks_created += batch_col->num_chunks();
+      grown = ColumnData::FromChunks(field.type, std::move(merged),
+                                     field.type == TypeId::kString
+                                         ? grown_dict
+                                         : nullptr);
+    }
     new_cols.push_back(std::move(grown));
   }
   auto grown_table =
       std::make_shared<Table>(name, table->schema(), std::move(new_cols));
   grown_table->set_dataframe(table->dataframe());
   catalog_.Register(grown_table);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    plan_stats_.chunks_created += chunks_created;
+    plan_stats_.chunks_rewritten += chunks_rewritten;
+  }
   return grown_table;
 }
 

@@ -20,6 +20,19 @@
 namespace joinboost {
 namespace exec {
 
+/// Everything a read needs to resolve and execute: which catalog base tables
+/// come from (null = the database's live catalog; the serving layer passes a
+/// session's pinned snapshot so concurrent writers stay invisible), an
+/// optional profile override (planner/threads/compressed-exec knobs; threads
+/// are still clamped to the engine pool), and the query-log tag. This is the
+/// single read entry point's context — Database::Query(const ReadContext&,
+/// ...) subsumes the old RunSelect/RunSelectOn/QueryOn trio.
+struct ReadContext {
+  const Catalog* catalog = nullptr;        ///< null = live catalog
+  const EngineProfile* profile = nullptr;  ///< null = database profile
+  std::string tag;                         ///< query-log label (parse paths)
+};
+
 /// The engine facade: a self-contained in-memory SQL database. JoinBoost's
 /// trainers talk to it exclusively through SQL strings (paper criterion C1),
 /// except for the single column-swap extension the paper proposes for
@@ -51,28 +64,37 @@ class Database {
   /// First row / first column as double (aggregate probes).
   double QueryScalarDouble(const std::string& sql, const std::string& tag = "");
 
-  /// Execute a parsed SELECT (internal fast path; still logged-free).
-  /// Routes through the logical planner unless profile().use_planner is off,
-  /// in which case the raw AST is executed (differential-test path).
+  /// THE read entry point: execute a parsed SELECT under `rctx` (catalog,
+  /// profile overrides). Routes through the logical planner unless the
+  /// effective profile's use_planner is off, in which case the raw AST is
+  /// executed (differential-test path). Not query-logged.
+  ExecTable Query(const ReadContext& rctx, const sql::SelectStmt& stmt);
+
+  /// Parse + execute a SELECT under `rctx`; logged under rctx.tag.
+  std::shared_ptr<ExecTable> Query(const ReadContext& rctx,
+                                   const std::string& sql);
+
+  /// Deprecated: use Query(ReadContext{}, stmt).
   ExecTable RunSelect(const sql::SelectStmt& stmt);
 
-  /// RunSelect against an explicit catalog instead of the live one. This is
-  /// the serving layer's versioned-read path: a session resolves every base
-  /// table (including subquery scans) through its pinned snapshot catalog, so
+  /// Deprecated: use Query(ReadContext{&cat}, stmt). This was the serving
+  /// layer's versioned-read path: a session resolves every base table
+  /// (including subquery scans) through its pinned snapshot catalog, so
   /// concurrent writers publishing new table versions are invisible to it.
   ExecTable RunSelectOn(const Catalog& cat, const sql::SelectStmt& stmt);
 
-  /// Parse + execute a SELECT against an explicit catalog (logged under
-  /// `tag` like Query()).
+  /// Deprecated: use Query(ReadContext{&cat, nullptr, tag}, sql).
   std::shared_ptr<ExecTable> QueryOn(const Catalog& cat,
                                      const std::string& sql,
                                      const std::string& tag = "");
 
   /// Append `rows` (matched to the table's schema by column name) to table
-  /// `name` copy-on-write: the grown table is built aside and swapped into
-  /// the catalog atomically, so concurrent readers see the old or the new
-  /// row count, never a torn column set. Serialized with other writers;
-  /// honours the profile's WAL/MVCC/compression costs. Returns the new table.
+  /// `name` by sealing new chunks: existing column segments are reused by
+  /// pointer — O(new rows), chunks_rewritten stays 0 — and the grown table
+  /// is built aside and swapped into the catalog atomically, so concurrent
+  /// readers see the old or the new row count, never a torn column set.
+  /// Serialized with other writers; honours the profile's WAL/MVCC/
+  /// compression costs. Returns the new table.
   TablePtr AppendRows(const std::string& name, const ExecTable& rows);
 
   /// Plan a SELECT and render its operator tree (the EXPLAIN statement).

@@ -46,6 +46,52 @@ RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
   return rs;
 }
 
+std::vector<std::pair<size_t, size_t>> ChunkAlignedRanges(
+    const OpContext& ctx, const std::vector<size_t>& offsets, size_t rows) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (rows == 0) return ranges;
+  const size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
+  size_t prev = 0;
+  for (size_t i = 1; i < offsets.size() && prev < rows; ++i) {
+    const size_t end = std::min(offsets[i], rows);
+    for (size_t b = prev; b < end; b += mr) {
+      ranges.emplace_back(b, std::min(end, b + mr));
+    }
+    prev = std::max(prev, end);
+  }
+  // Defensive tail in case the offsets list covers fewer than `rows` rows.
+  for (size_t b = prev; b < rows; b += mr) {
+    ranges.emplace_back(b, std::min(rows, b + mr));
+  }
+  return ranges;
+}
+
+RunStats ForEachRange(const OpContext& ctx, size_t rows,
+                      const std::vector<std::pair<size_t, size_t>>& ranges,
+                      const std::function<void(size_t, size_t, size_t)>& fn) {
+  RunStats rs;
+  if (ranges.empty()) return rs;
+  if (!ctx.CanParallel(rows) || ranges.size() == 1) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      fn(i, ranges[i].first, ranges[i].second);
+    }
+    rs.morsels = 1;
+    return rs;
+  }
+  ThreadPool::ParallelForStats ps =
+      ctx.pool->ParallelFor(ranges.size(), [&](size_t i) {
+        fn(i, ranges[i].first, ranges[i].second);
+      });
+  rs.morsels = ranges.size();
+  rs.stolen = ps.helper_items;
+  if (ctx.stats != nullptr) {
+    // Updated by the dispatching thread only, after all ranges finished.
+    ctx.stats->morsels_dispatched += rs.morsels;
+    ctx.stats->morsels_stolen += rs.stolen;
+  }
+  return rs;
+}
+
 ExecTable SliceRows(const ExecTable& input, size_t begin, size_t end,
                     const std::vector<size_t>* columns) {
   JB_CHECK(begin <= end && end <= input.rows);
@@ -321,29 +367,45 @@ void MixColumnHash(const VectorData& v, size_t begin, size_t end,
 /// reference + delta in unsigned space, which is exactly the value the
 /// decoded vector would hold, so hashes (and therefore partition ownership
 /// and probe order) are identical to MixColumnHash over decoded ints.
-void MixColumnHashEncoded(const compression::EncodedInts& enc, size_t begin,
-                          size_t end, uint64_t* out) {
-  size_t b = begin / compression::kBlockSize;
+void MixColumnHashEncoded(const EncodedView& view, size_t begin, size_t end,
+                          uint64_t* out) {
+  // Locate the chunk slice containing `begin`; slices are ordered by
+  // row_begin, and block indices restart at every slice.
+  size_t si = static_cast<size_t>(
+                  std::upper_bound(view.slices.begin(), view.slices.end(),
+                                   begin,
+                                   [](size_t row, const EncodedView::Slice& s) {
+                                     return row < s.row_begin;
+                                   }) -
+                  view.slices.begin()) -
+              1;
   size_t r = begin;
-  for (; r < end; ++b) {
-    const compression::EncodedInts::Block& blk = enc.blocks[b];
-    const size_t base = b * compression::kBlockSize;
-    const size_t stop = std::min(end, base + blk.count);
-    const uint64_t uref = static_cast<uint64_t>(blk.reference);
-    const uint8_t bw = blk.bit_width;
-    if (bw == 0) {
-      for (; r < stop; ++r) out[r] = HashCombine(out[r], uref);
-      continue;
-    }
-    const uint64_t mask = bw == 64 ? ~0ULL : ((1ULL << bw) - 1);
-    const uint64_t* words = blk.words.data();
-    for (; r < stop; ++r) {
-      const size_t bit_pos = (r - base) * bw;
-      const size_t word = bit_pos >> 6;
-      const size_t offset = bit_pos & 63;
-      uint64_t v = words[word] >> offset;
-      if (offset + bw > 64) v |= words[word + 1] << (64 - offset);
-      out[r] = HashCombine(out[r], uref + (v & mask));
+  for (; r < end; ++si) {
+    const EncodedView::Slice& slice = view.slices[si];
+    const compression::EncodedInts& enc = *slice.enc;
+    const size_t sbegin = slice.row_begin;
+    const size_t slice_stop = std::min(end, sbegin + enc.size);
+    size_t b = (r - sbegin) / compression::kBlockSize;
+    for (; r < slice_stop; ++b) {
+      const compression::EncodedInts::Block& blk = enc.blocks[b];
+      const size_t base = sbegin + b * compression::kBlockSize;
+      const size_t stop = std::min(slice_stop, base + blk.count);
+      const uint64_t uref = static_cast<uint64_t>(blk.reference);
+      const uint8_t bw = blk.bit_width;
+      if (bw == 0) {
+        for (; r < stop; ++r) out[r] = HashCombine(out[r], uref);
+        continue;
+      }
+      const uint64_t mask = bw == 64 ? ~0ULL : ((1ULL << bw) - 1);
+      const uint64_t* words = blk.words.data();
+      for (; r < stop; ++r) {
+        const size_t bit_pos = (r - base) * bw;
+        const size_t word = bit_pos >> 6;
+        const size_t offset = bit_pos & 63;
+        uint64_t v = words[word] >> offset;
+        if (offset + bw > 64) v |= words[word + 1] << (64 - offset);
+        out[r] = HashCombine(out[r], uref + (v & mask));
+      }
     }
   }
 }
@@ -378,7 +440,7 @@ std::vector<uint64_t> HashKeys(const std::vector<const VectorData*>& keys,
   }
   ForEachMorsel(ctx, rows, [&](size_t, size_t begin, size_t end) {
     for (const auto* k : keys) {
-      if (k->enc && k->type != TypeId::kFloat64 && k->enc->size == rows) {
+      if (k->enc && k->type != TypeId::kFloat64 && k->enc->rows == rows) {
         MixColumnHashEncoded(*k->enc, begin, end, out.data());
       } else {
         MixColumnHash(*k, begin, end, out.data());

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "exec/expr_eval.h"
@@ -35,6 +36,22 @@ size_t NumMorsels(const OpContext& ctx, size_t rows);
 /// the caller (smallest morsel index wins). Updates ctx.stats counters.
 RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
                        const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Split [0, rows) into morsel-sized ranges that never cross the given
+/// storage-chunk boundaries (`offsets` is a chunk_offsets()-style list
+/// starting at 0), so each range decodes from exactly one column segment.
+/// With a single chunk this degenerates to the plain morsel split.
+std::vector<std::pair<size_t, size_t>> ChunkAlignedRanges(
+    const OpContext& ctx, const std::vector<size_t>& offsets, size_t rows);
+
+/// Run fn(range_index, begin, end) over pre-computed ranges, in parallel
+/// when the context allows it for `rows` total input rows. Ranges partition
+/// the input and outputs land at range-local offsets, so results are
+/// bit-identical to a serial pass. Counter semantics match ForEachMorsel
+/// (stats updated by the dispatching thread, only when run in parallel).
+RunStats ForEachRange(const OpContext& ctx, size_t rows,
+                      const std::vector<std::pair<size_t, size_t>>& ranges,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
 
 /// Materialize rows [begin, end) of `input` as a standalone table (column
 /// payloads are copied; dictionaries are shared). Morsel-local evaluation

@@ -92,6 +92,7 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
         s.cells_decompressed += cres.cells_decompressed;
         s.cells_decompress_avoided += cres.cells_avoided;
         s.blocks_skipped += cres.blocks_skipped;
+        s.chunks_pruned += cres.chunks_pruned;
       }
       return std::move(cres.table);
     }
@@ -104,18 +105,35 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
     VectorData v;
     v.type = col->type();
     v.dict = col->dict();
-    if (col->encoded()) {
-      // Real decompression cost, like any compressed columnar engine —
-      // but only for the columns the plan actually references.
-      col_decompressed[c] = 1;
+    if (col->encoded() || col->num_chunks() > 1) {
+      // Real decompression / chunk-stitching cost, like any compressed
+      // columnar engine — but only for the columns the plan actually
+      // references. Ranges align to segment boundaries, so every range
+      // decodes from exactly one chunk; any partition of the rows writes
+      // the same bytes, keeping results chunking- and thread-oblivious.
+      col_decompressed[c] = col->encoded() ? 1 : 0;
+      const auto ranges =
+          morsel::ChunkAlignedRanges(ctx, col->chunk_offsets(), col->size());
       if (col->type() == TypeId::kFloat64) {
-        v.dbls = col->ScanDoubles();
+        auto data = std::make_shared<std::vector<double>>(col->size());
+        morsel::ForEachRange(ctx, col->size(), ranges,
+                             [&](size_t, size_t begin, size_t end) {
+                               col->MaterializeDoubles(begin, end,
+                                                       data->data() + begin);
+                             });
+        v.dbls = std::move(data);
       } else {
-        v.ints = col->ScanInts();
+        auto data = std::make_shared<std::vector<int64_t>>(col->size());
+        morsel::ForEachRange(ctx, col->size(), ranges,
+                             [&](size_t, size_t begin, size_t end) {
+                               col->MaterializeInts(begin, end,
+                                                    data->data() + begin);
+                             });
+        v.ints = std::move(data);
         if (ctx.compressed_exec && !ctx.row_mode) {
           // Compressed sidecar: downstream hash kernels mix dictionary ids
           // and frame-of-reference deltas straight from the packed payload.
-          v.enc = col->EncodedIntsPayload();
+          v.enc = col->EncodedIntsView();
         }
       }
     } else if (pay_interop) {
@@ -139,7 +157,7 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
         v.ints = std::make_shared<const std::vector<int64_t>>(std::move(dst));
       }
     } else {
-      // Zero-copy share of the plain payload.
+      // Zero-copy share of the plain single-chunk payload.
       if (col->type() == TypeId::kFloat64) {
         v.dbls = col->PlainDoubles();
       } else {
@@ -148,13 +166,18 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
     }
     out.cols[c] = {qualifier, table.schema().field(i).name, std::move(v)};
   };
-  // Decompression / interop conversion is embarrassingly parallel across
-  // columns; zero-copy shares are too cheap to be worth dispatching.
-  bool any_decode = pay_interop;
-  for (size_t c = 0; c < cols.size() && !any_decode; ++c) {
-    any_decode = table.column(static_cast<size_t>(cols[c]))->encoded();
+  // Decoding columns dispatch their own chunk-aligned ranges on the pool, so
+  // the column loop stays serial except for the interop conversion (which is
+  // element-wise per column and embarrassingly parallel across columns);
+  // zero-copy shares are too cheap to be worth dispatching. The two dispatch
+  // shapes are mutually exclusive so pool ParallelFor calls never nest.
+  bool any_ranged = false;
+  for (size_t c = 0; c < cols.size() && !any_ranged; ++c) {
+    const auto& col = table.column(static_cast<size_t>(cols[c]));
+    any_ranged = col->encoded() || col->num_chunks() > 1;
   }
-  if (any_decode && ctx.CanParallel(table.num_rows()) && cols.size() > 1) {
+  if (!any_ranged && pay_interop && ctx.CanParallel(table.num_rows()) &&
+      cols.size() > 1) {
     ctx.pool->ParallelFor(cols.size(), materialize);
   } else {
     for (size_t c = 0; c < cols.size(); ++c) materialize(c);

@@ -19,10 +19,11 @@ struct VectorData {
   std::shared_ptr<const std::vector<double>> dbls;
   DictionaryPtr dict;
   /// Optional compressed sidecar attached by compressed-execution scans:
-  /// value-identical to `ints` (same length, full-table alignment). Hash
-  /// kernels walk this payload instead of the decoded vector when present.
-  /// Dropped by Gather — a row subset no longer lines up with the blocks.
-  std::shared_ptr<const compression::EncodedInts> enc;
+  /// value-identical to `ints` (same length, full-table alignment), one
+  /// slice per storage chunk. Hash kernels walk the packed words instead of
+  /// the decoded vector when present. Dropped by Gather — a row subset no
+  /// longer lines up with the blocks.
+  std::shared_ptr<const EncodedView> enc;
 
   size_t size() const {
     if (type == TypeId::kFloat64) return dbls ? dbls->size() : 0;

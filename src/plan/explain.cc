@@ -60,7 +60,10 @@ std::string FormatStats(const PlanStats& s) {
      << "\n"
      << "hash_probes        " << s.hash_probes << "\n"
      << "hash_chain_follows " << s.hash_chain_follows << "\n"
-     << "hash_bytes         " << s.hash_bytes << "\n";
+     << "hash_bytes         " << s.hash_bytes << "\n"
+     << "chunks created/rewritten " << s.chunks_created << " / "
+     << s.chunks_rewritten << "\n"
+     << "chunks_pruned      " << s.chunks_pruned << "\n";
   return os.str();
 }
 

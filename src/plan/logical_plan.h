@@ -53,6 +53,14 @@ struct PlanStats {
                                  ///< deterministic for any thread count
   size_t hash_bytes = 0;         ///< hash memory at canonical (single-table)
                                  ///< sizing: next[] chains + slot directory
+  size_t chunks_created = 0;     ///< column segments sealed (loads, result
+                                 ///< materialization, appends, rewrites)
+  size_t chunks_rewritten = 0;   ///< pre-existing column segments rebuilt;
+                                 ///< appends pin this to 0 (O(new rows))
+  size_t chunks_pruned = 0;      ///< horizontal chunks eliminated wholesale
+                                 ///< by zone maps (never decoded); like the
+                                 ///< other decode counters, deterministic
+                                 ///< for any thread count
 
   PlanStats& operator+=(const PlanStats& o) {
     queries_planned += o.queries_planned;
@@ -78,6 +86,9 @@ struct PlanStats {
     hash_probes += o.hash_probes;
     hash_chain_follows += o.hash_chain_follows;
     hash_bytes += o.hash_bytes;
+    chunks_created += o.chunks_created;
+    chunks_rewritten += o.chunks_rewritten;
+    chunks_pruned += o.chunks_pruned;
     return *this;
   }
   PlanStats operator-(const PlanStats& o) const {
@@ -105,6 +116,9 @@ struct PlanStats {
     d.hash_probes -= o.hash_probes;
     d.hash_chain_follows -= o.hash_chain_follows;
     d.hash_bytes -= o.hash_bytes;
+    d.chunks_created -= o.chunks_created;
+    d.chunks_rewritten -= o.chunks_rewritten;
+    d.chunks_pruned -= o.chunks_pruned;
     return d;
   }
 };

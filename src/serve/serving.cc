@@ -88,7 +88,13 @@ SnapshotPtr ServingContext::Republish() {
 std::shared_ptr<exec::ExecTable> ServingContext::Session::Query(
     const std::string& sql, const std::string& tag) {
   Admission slot(ctx_);
-  auto result = ctx_->db_->QueryOn(snap_->tables, sql, tag);
+  // Pin the session's snapshot catalog for the whole statement (subqueries
+  // included): concurrent writers publishing new table versions stay
+  // invisible until the session re-opens against a newer snapshot.
+  exec::ReadContext rctx;
+  rctx.catalog = &snap_->tables;
+  rctx.tag = tag;
+  auto result = ctx_->db_->Query(rctx, sql);
   ctx_->snapshot_reads_.fetch_add(1);
   return result;
 }

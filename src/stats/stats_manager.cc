@@ -57,11 +57,88 @@ ColumnStats StatsManager::BuildColumnStats(const ColumnData& col) {
   return s;
 }
 
+StatsManager::SegStats StatsManager::BuildSegStats(const ColumnData& col,
+                                                   size_t chunk_index) {
+  const auto& off = col.chunk_offsets();
+  const size_t begin = off[chunk_index];
+  const size_t end = off[chunk_index + 1];
+  SegStats s;
+  std::vector<double> values;
+  values.reserve(end - begin);
+  if (col.type() == TypeId::kFloat64) {
+    std::vector<double> buf(end - begin);
+    col.MaterializeDoubles(begin, end, buf.data());
+    for (double v : buf) {
+      if (IsNullFloat64(v)) {
+        ++s.null_count;
+      } else {
+        values.push_back(v);
+      }
+    }
+  } else {
+    std::vector<int64_t> buf(end - begin);
+    col.MaterializeInts(begin, end, buf.data());
+    for (int64_t v : buf) {
+      if (v == kNullInt64) {
+        ++s.null_count;
+      } else {
+        values.push_back(static_cast<double>(v));
+      }
+    }
+  }
+  s.distinct = DistinctCounts(std::move(values));
+  return s;
+}
+
+ColumnStats StatsManager::MergeSegStats(const ColumnData& col,
+                                        const std::vector<SegStatsPtr>& segs) {
+  ColumnStats s;
+  s.row_count = col.size();
+  if (col.type() != TypeId::kFloat64) s.dict = col.dict();
+  for (const auto& seg : segs) s.null_count += seg->null_count;
+  // K-way merge of the per-segment sorted distinct lists, summing counts of
+  // equal values. The result is exactly DistinctCounts over the whole
+  // column, so the histogram is identical to a monolithic build.
+  std::vector<size_t> cur(segs.size(), 0);
+  std::vector<std::pair<double, size_t>> merged;
+  while (true) {
+    bool any = false;
+    double best = 0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      if (cur[i] >= segs[i]->distinct.size()) continue;
+      double v = segs[i]->distinct[cur[i]].first;
+      if (!any || v < best) {
+        best = v;
+        any = true;
+      }
+    }
+    if (!any) break;
+    size_t count = 0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      if (cur[i] < segs[i]->distinct.size() &&
+          segs[i]->distinct[cur[i]].first == best) {
+        count += segs[i]->distinct[cur[i]].second;
+        ++cur[i];
+      }
+    }
+    merged.emplace_back(best, count);
+  }
+  s.distinct_count = merged.size();
+  if (!merged.empty()) {
+    s.min = merged.front().first;
+    s.max = merged.back().first;
+  }
+  s.histogram = EqualNumElementsHistogram::Build(merged, kMaxBuckets);
+  return s;
+}
+
 ColumnStatsPtr StatsManager::Get(const TablePtr& table, size_t column_index) {
   if (!table || column_index >= table->num_columns()) return nullptr;
   const ColumnPtr& col = table->column(column_index);
   const std::string& col_name = table->schema().field(column_index).name;
   std::pair<std::string, std::string> key(table->name(), col_name);
+  const auto& chunks = col->chunks();
+  std::vector<SegStatsPtr> segs(chunks.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -69,16 +146,52 @@ ColumnStatsPtr StatsManager::Get(const TablePtr& table, size_t column_index) {
         it->second.version == col->version()) {
       return it->second.stats;
     }
+    // Segment reuse: a chunk uid identifies immutable values (Encode/Decode
+    // keep it, every value change mints a new one), so appended-to columns
+    // only pay for their fresh segments below.
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      auto sit = seg_cache_.find(chunks[i]->uid);
+      if (sit != seg_cache_.end()) {
+        segs[i] = sit->second;
+        ++seg_hits_;
+      } else {
+        ++seg_misses_;
+      }
+    }
   }
-  // Build outside the lock: statistics construction decodes and sorts the
-  // column, which can be expensive.
+  // Build missing segments outside the lock: statistics construction decodes
+  // and sorts, which can be expensive.
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (!segs[i]) {
+      segs[i] = std::make_shared<const SegStats>(BuildSegStats(*col, i));
+    }
+  }
   Entry fresh;
   fresh.identity = col.get();
   fresh.version = col->version();
-  fresh.stats = std::make_shared<const ColumnStats>(BuildColumnStats(*col));
+  fresh.stats = std::make_shared<const ColumnStats>(MergeSegStats(*col, segs));
   std::lock_guard<std::mutex> lock(mu_);
+  if (seg_cache_.size() > kMaxSegEntries) seg_cache_.clear();
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    seg_cache_[chunks[i]->uid] = segs[i];
+  }
   cache_[key] = fresh;
   return fresh.stats;
+}
+
+size_t StatsManager::SegCacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seg_cache_.size();
+}
+
+size_t StatsManager::seg_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seg_hits_;
+}
+
+size_t StatsManager::seg_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seg_misses_;
 }
 
 ColumnStatsPtr StatsManager::Get(const TablePtr& table,

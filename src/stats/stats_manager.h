@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "stats/histogram.h"
 #include "storage/table.h"
@@ -39,9 +41,18 @@ using ColumnStatsPtr = std::shared_ptr<const ColumnStats>;
 /// the column's payload identity or version changes — UPDATEs bump the
 /// version, CREATE TABLE AS replaces the table (new ColumnData pointers),
 /// and column swap bumps both swapped columns.
+///
+/// Invalidation is per storage chunk: the sorted per-segment distinct lists
+/// are cached by chunk uid, so an append (which reuses existing segments by
+/// pointer and seals new ones behind them) only sorts the new rows. The
+/// per-segment lists k-way merge into exactly the list a monolithic
+/// sort-and-count would produce, so histograms are bit-identical to a full
+/// rebuild regardless of chunk layout.
 class StatsManager {
  public:
   static constexpr size_t kMaxBuckets = 100;
+  /// Per-segment cache bound: coarse flush above this many entries.
+  static constexpr size_t kMaxSegEntries = 16384;
 
   /// Statistics for `table`.`column_index`; nullptr when the index is out of
   /// range. Thread-safe; concurrent callers may both build, last one wins
@@ -51,8 +62,15 @@ class StatsManager {
   /// Convenience overload resolving by column name (nullptr when absent).
   ColumnStatsPtr Get(const TablePtr& table, const std::string& column);
 
-  /// Builds (uncached) statistics for one column — exposed for tests.
+  /// Builds (uncached, monolithic) statistics for one column — exposed for
+  /// tests as the reference the chunk-merged build must match.
   static ColumnStats BuildColumnStats(const ColumnData& col);
+
+  /// Per-segment cache observability (tests): resident entries and the
+  /// hit/miss tally of segment lookups since construction.
+  size_t SegCacheSize() const;
+  size_t seg_hits() const;
+  size_t seg_misses() const;
 
  private:
   struct Entry {
@@ -61,8 +79,22 @@ class StatsManager {
     ColumnStatsPtr stats;
   };
 
-  std::mutex mu_;
+  /// Sorted (value, count) distinct list plus null tally for one segment.
+  struct SegStats {
+    size_t null_count = 0;
+    std::vector<std::pair<double, size_t>> distinct;
+  };
+  using SegStatsPtr = std::shared_ptr<const SegStats>;
+
+  static SegStats BuildSegStats(const ColumnData& col, size_t chunk_index);
+  static ColumnStats MergeSegStats(const ColumnData& col,
+                                   const std::vector<SegStatsPtr>& segs);
+
+  mutable std::mutex mu_;
   std::map<std::pair<std::string, std::string>, Entry> cache_;
+  std::map<uint64_t, SegStatsPtr> seg_cache_;  ///< keyed by chunk uid
+  size_t seg_hits_ = 0;
+  size_t seg_misses_ = 0;
 };
 
 }  // namespace stats

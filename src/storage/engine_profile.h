@@ -48,6 +48,15 @@ struct EngineProfile {
   /// parallelism entirely.
   size_t parallel_threshold_rows = 8192;
 
+  /// Rows per horizontal storage chunk: loads and result materialization
+  /// seal column segments every chunk_rows rows, so appends are O(new rows)
+  /// (new segments only, never rewriting existing ones) and morsels align
+  /// to segment boundaries. 0 = monolithic single-chunk columns (the
+  /// pre-chunking layout). Results are bit-identical for any value —
+  /// chunk boundaries never influence row order, group order, or float
+  /// accumulation order.
+  size_t chunk_rows = 0;
+
   /// Route SELECTs through the logical planner (predicate pushdown,
   /// projection pruning, constant folding, greedy join reordering). Off =
   /// execute the raw AST; kept for differential testing (planner_test.cc).

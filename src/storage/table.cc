@@ -65,20 +65,42 @@ const ColumnPtr& Table::column(const std::string& name) const {
 
 void Table::SetColumn(size_t i, ColumnPtr col) {
   JB_CHECK(i < columns_.size());
-  JB_CHECK(col->size() == num_rows_);
-  JB_CHECK(col->type() == schema_.field(i).type);
+  JB_CHECK_MSG(col != nullptr, "SetColumn with null column");
+  JB_CHECK_MSG(col->size() == num_rows_,
+               "SetColumn length mismatch in table "
+                   << name_ << ": column has " << col->size()
+                   << " rows, table has " << num_rows_);
+  JB_CHECK_MSG(col->type() == schema_.field(i).type,
+               "SetColumn type mismatch for " << schema_.field(i).name);
   columns_[i] = std::move(col);
   ++structure_version_;
 }
 
 void Table::AddColumn(Field field, ColumnPtr col) {
+  JB_CHECK_MSG(col != nullptr, "AddColumn with null column");
   JB_CHECK_MSG(col->size() == num_rows_ || columns_.empty(),
-               "new column length mismatch");
+               "AddColumn length mismatch in table "
+                   << name_ << ": column '" << field.name << "' has "
+                   << col->size() << " rows, table has " << num_rows_);
   if (columns_.empty()) num_rows_ = col->size();
-  JB_CHECK(col->type() == field.type);
+  JB_CHECK_MSG(col->type() == field.type,
+               "AddColumn type mismatch for " << field.name);
   schema_.AddField(std::move(field));
   columns_.push_back(std::move(col));
   ++structure_version_;
+}
+
+size_t Table::num_chunks() const {
+  return columns_.empty() ? 1 : columns_[0]->num_chunks();
+}
+
+std::vector<size_t> Table::chunk_offsets() const {
+  if (columns_.empty()) return {0, num_rows_};
+  return columns_[0]->chunk_offsets();
+}
+
+void Table::Rechunk(size_t rows_per_chunk) {
+  for (auto& c : columns_) c->Rechunk(rows_per_chunk);
 }
 
 uint64_t Table::DataVersion() const {
@@ -101,17 +123,28 @@ size_t Table::ByteSize() const {
   return total;
 }
 
+TableBuilder& TableBuilder::ChunkRows(size_t rows) {
+  chunk_rows_ = rows;
+  return *this;
+}
+
 TableBuilder& TableBuilder::AddInts(const std::string& col,
                                     std::vector<int64_t> values) {
   schema_.AddField({col, TypeId::kInt64});
-  columns_.push_back(ColumnData::MakeInts(std::move(values)));
+  columns_.push_back(ColumnBuilder(TypeId::kInt64)
+                         .ChunkRows(chunk_rows_)
+                         .AppendInts(std::move(values))
+                         .Build());
   return *this;
 }
 
 TableBuilder& TableBuilder::AddDoubles(const std::string& col,
                                        std::vector<double> values) {
   schema_.AddField({col, TypeId::kFloat64});
-  columns_.push_back(ColumnData::MakeDoubles(std::move(values)));
+  columns_.push_back(ColumnBuilder(TypeId::kFloat64)
+                         .ChunkRows(chunk_rows_)
+                         .AppendDoubles(std::move(values))
+                         .Build());
   return *this;
 }
 
@@ -119,7 +152,10 @@ TableBuilder& TableBuilder::AddStrings(const std::string& col,
                                        const std::vector<std::string>& values,
                                        DictionaryPtr dict) {
   schema_.AddField({col, TypeId::kString});
-  columns_.push_back(ColumnData::MakeStrings(values, std::move(dict)));
+  columns_.push_back(ColumnBuilder(TypeId::kString, std::move(dict))
+                         .ChunkRows(chunk_rows_)
+                         .AppendStrings(values)
+                         .Build());
   return *this;
 }
 

@@ -54,8 +54,23 @@ class Table {
   const ColumnPtr& column(const std::string& name) const;
   const std::vector<ColumnPtr>& columns() const { return columns_; }
 
+  /// Both validate the replacement/new column: a length that disagrees with
+  /// num_rows() (or a mismatched type) throws rather than corrupting the
+  /// table invariant that every column has the same row count.
   void SetColumn(size_t i, ColumnPtr col);
   void AddColumn(Field field, ColumnPtr col);
+
+  /// Chunk layout of the table, taken from its first column ({0, num_rows}
+  /// for a column-less table). Per-column layouts can diverge after a column
+  /// swap — consumers that require a shared layout (compressed scans) verify
+  /// per column and fall back; everything else is layout-oblivious.
+  size_t num_chunks() const;
+  std::vector<size_t> chunk_offsets() const;
+
+  /// Re-slice every column into uniform chunks of `rows_per_chunk` rows
+  /// (0 = one chunk per column). Applied at load time by
+  /// EngineProfile::chunk_rows; values and versions are unchanged.
+  void Rechunk(size_t rows_per_chunk);
 
   /// Process-unique table identity, assigned at construction. Replacing a
   /// table in the catalog (copy-on-write append/update, CREATE OR REPLACE)
@@ -100,6 +115,9 @@ class TableBuilder {
  public:
   explicit TableBuilder(std::string name) : name_(std::move(name)) {}
 
+  /// Seal column chunks every `rows` rows (0 = monolithic single chunk).
+  TableBuilder& ChunkRows(size_t rows);
+
   TableBuilder& AddInts(const std::string& col, std::vector<int64_t> values);
   TableBuilder& AddDoubles(const std::string& col, std::vector<double> values);
   TableBuilder& AddStrings(const std::string& col,
@@ -111,6 +129,7 @@ class TableBuilder {
   std::string name_;
   Schema schema_;
   std::vector<ColumnPtr> columns_;
+  size_t chunk_rows_ = 0;
 };
 
 }  // namespace joinboost

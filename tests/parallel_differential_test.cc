@@ -759,6 +759,127 @@ TEST_F(CostBasedDifferentialTest, CostModelNeverChangesResults) {
 }
 
 // ---------------------------------------------------------------------------
+// Chunk-size axis: the horizontal storage layout is invisible to results.
+// {whole-table chunk, 1024-row chunks, 999-row chunks (ragged last)} x
+// {planner on/off} x {1, N threads} over genuinely loaded (encoded) storage.
+// Same planner mode => bit-identical row sequences regardless of chunk size
+// or thread count; across planner modes the ordered-exact / multiset
+// contract applies. Reuses JB_DIFF_SEED / JB_DIFF_COUNT for nightly
+// widening.
+// ---------------------------------------------------------------------------
+
+EngineProfile ChunkDiffProfile(size_t chunk_rows, bool use_planner,
+                               int threads) {
+  EngineProfile p = DiffProfile(use_planner, threads);
+  p.chunk_rows = chunk_rows;
+  return p;
+}
+
+class ChunkedDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 6000;
+  struct Engine {
+    size_t chunk_rows;
+    bool planner;
+    int threads;
+    std::unique_ptr<Database> db;
+  };
+
+  void SetUp() override {
+    // 999 does not divide 6000, so the last chunk is ragged (6 rows) and
+    // chunk boundaries disagree with the 4096-value compression blocks.
+    for (size_t chunk_rows : {size_t{0}, size_t{1024}, size_t{999}}) {
+      for (bool planner : {true, false}) {
+        for (int threads : {1, 4}) {
+          engines_.push_back(
+              {chunk_rows, planner, threads,
+               std::make_unique<Database>(
+                   ChunkDiffProfile(chunk_rows, planner, threads))});
+          // LoadTable applies the storage profile: the chunked engines carve
+          // every table into per-chunk encoded segments at load time.
+          BuildDiffTables(engines_.back().db.get(), /*seed=*/97, kRows,
+                          /*load=*/true);
+        }
+      }
+    }
+  }
+
+  void CheckQuery(const GenQuery& q) {
+    std::vector<std::vector<std::string>> rows(engines_.size());
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      rows[i] = RowStrings(*engines_[i].db->Query(q.sql));
+    }
+    // Same planner mode => exact row-sequence equality, regardless of chunk
+    // layout or thread count.
+    int planner_ref = -1, raw_ref = -1;
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      int& ref = engines_[i].planner ? planner_ref : raw_ref;
+      if (ref < 0) {
+        ref = static_cast<int>(i);
+        continue;
+      }
+      EXPECT_EQ(rows[static_cast<size_t>(ref)], rows[i])
+          << "chunk_rows=" << engines_[i].chunk_rows
+          << " planner=" << engines_[i].planner
+          << " threads=" << engines_[i].threads << " diverged from chunk_rows="
+          << engines_[static_cast<size_t>(ref)].chunk_rows
+          << " threads=" << engines_[static_cast<size_t>(ref)].threads;
+    }
+    ASSERT_GE(planner_ref, 0);
+    ASSERT_GE(raw_ref, 0);
+    auto a = rows[static_cast<size_t>(planner_ref)];
+    auto b = rows[static_cast<size_t>(raw_ref)];
+    if (!q.ordered) {
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+    }
+    EXPECT_EQ(a, b) << "planner on/off differ";
+  }
+
+  std::vector<Engine> engines_;
+};
+
+TEST_F(ChunkedDifferentialTest, ChunkLayoutNeverChangesResults) {
+  uint64_t base_seed = 0x4368756E6BULL;  // distinct from the other axes
+  if (const char* env = std::getenv("JB_DIFF_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  size_t count = 32;
+  if (const char* env = std::getenv("JB_DIFF_COUNT")) {
+    count = std::strtoull(env, nullptr, 0);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t seed = base_seed + i;
+    GenQuery q = GenerateQuery(seed);
+    SCOPED_TRACE("replay: JB_DIFF_SEED=" + std::to_string(seed) +
+                 " JB_DIFF_COUNT=1 | seed " + std::to_string(seed) + " | " +
+                 q.sql);
+    CheckQuery(q);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[parallel_differential] FAILING CHUNK-AXIS SEED: %llu\n"
+                   "[parallel_differential] replay with: JB_DIFF_SEED=%llu "
+                   "JB_DIFF_COUNT=1\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+  // Layout counters: chunked engines sealed multiple segments per column at
+  // load; the monolithic ones exactly one. Nothing in a read-only query
+  // stream ever rewrites a sealed segment, on any engine.
+  for (const Engine& e : engines_) {
+    plan::PlanStats s = e.db->PlanStatsTotals();
+    EXPECT_EQ(s.chunks_rewritten, 0u)
+        << "chunk_rows=" << e.chunk_rows << " rewrote a sealed segment";
+    if (e.chunk_rows != 0) {
+      EXPECT_GT(s.chunks_created, 0u)
+          << "chunk_rows=" << e.chunk_rows << " never sealed a chunk";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Full training run: thread count and planner mode must not change a bit.
 // ---------------------------------------------------------------------------
 
@@ -798,6 +919,57 @@ TEST(ParallelTrainEquivalenceTest, GbdtIsBitIdenticalAcrossThreadsAndPlanner) {
     for (size_t r = 0; r < predictions[0].size(); ++r) {
       ASSERT_EQ(predictions[0][r], predictions[i][r])
           << "prediction diverged at row " << r << ", config " << i;
+    }
+  }
+}
+
+TEST(ChunkedTrainEquivalenceTest, FavoritaGbdtIsBitIdenticalAcrossChunkSizes) {
+  // Full factorized gbdt train over the Favorita snowflake: the storage
+  // chunk layout must not change a bit of the model or its predictions,
+  // and the chunked engines must actually run on multi-chunk storage.
+  struct Config {
+    size_t chunk_rows;
+    int threads;
+  };
+  const Config configs[] = {{0, 1}, {1024, 1}, {1024, 4}, {999, 4}};
+  std::vector<std::string> model_strings;
+  std::vector<std::vector<double>> predictions;
+  for (const Config& c : configs) {
+    EngineProfile p = EngineProfile::DSwap();
+    p.chunk_rows = c.chunk_rows;
+    p.exec_threads = c.threads;
+    Database db(p);
+    Dataset ds = data::MakeFavorita(&db, test_util::TinyFavorita());
+    if (c.chunk_rows != 0) {
+      EXPECT_GT(db.PlanStatsTotals().chunks_created, 0u)
+          << "chunk_rows=" << c.chunk_rows << " loaded monolithically";
+    }
+    core::TrainParams params;
+    params.boosting = "gbdt";
+    params.num_iterations = 5;
+    params.num_leaves = 8;
+    params.learning_rate = 0.2;
+    TrainResult res = Train(params, ds);
+    model_strings.push_back(res.model.ToString());
+    core::JoinedEval eval = core::MaterializeJoin(ds);
+    std::vector<double> preds(eval.rows());
+    for (size_t r = 0; r < eval.rows(); ++r) {
+      preds[r] = eval.Predict(res.model, r);
+    }
+    predictions.push_back(std::move(preds));
+    EXPECT_EQ(db.PlanStatsTotals().chunks_rewritten, 0u)
+        << "training rewrote a sealed segment (chunk_rows=" << c.chunk_rows
+        << ")";
+  }
+  for (size_t i = 1; i < model_strings.size(); ++i) {
+    EXPECT_EQ(model_strings[0], model_strings[i])
+        << "model diverged: chunk_rows=" << configs[i].chunk_rows
+        << " threads=" << configs[i].threads;
+    ASSERT_EQ(predictions[0].size(), predictions[i].size());
+    for (size_t r = 0; r < predictions[0].size(); ++r) {
+      ASSERT_EQ(predictions[0][r], predictions[i][r])
+          << "prediction diverged at row " << r
+          << " (chunk_rows=" << configs[i].chunk_rows << ")";
     }
   }
 }

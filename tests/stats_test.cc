@@ -114,7 +114,9 @@ TEST(HistogramTest, WideColumnsStayWithinBucketDensityBounds) {
 // ---------------------------------------------------------------------------
 
 TEST(ColumnStatsTest, AllNullIntColumn) {
-  auto col = ColumnData::MakeInts({kNullInt64, kNullInt64, kNullInt64});
+  auto col = ColumnBuilder(TypeId::kInt64)
+                 .AppendInts({kNullInt64, kNullInt64, kNullInt64})
+                 .Build();
   ColumnStats s = StatsManager::BuildColumnStats(*col);
   EXPECT_EQ(s.row_count, 3u);
   EXPECT_EQ(s.null_count, 3u);
@@ -124,7 +126,9 @@ TEST(ColumnStatsTest, AllNullIntColumn) {
 }
 
 TEST(ColumnStatsTest, NullDoublesAreExcludedFromTheHistogram) {
-  auto col = ColumnData::MakeDoubles({1.5, NullFloat64(), 2.5, NullFloat64()});
+  auto col = ColumnBuilder(TypeId::kFloat64)
+                 .AppendDoubles({1.5, NullFloat64(), 2.5, NullFloat64()})
+                 .Build();
   ColumnStats s = StatsManager::BuildColumnStats(*col);
   EXPECT_EQ(s.row_count, 4u);
   EXPECT_EQ(s.null_count, 2u);
@@ -136,7 +140,9 @@ TEST(ColumnStatsTest, NullDoublesAreExcludedFromTheHistogram) {
 }
 
 TEST(ColumnStatsTest, StringColumnsHistogramDictionaryCodes) {
-  auto col = ColumnData::MakeStrings({"b", "a", "b", "c", "b"});
+  auto col = ColumnBuilder(TypeId::kString)
+                 .AppendStrings({"b", "a", "b", "c", "b"})
+                 .Build();
   ColumnStats s = StatsManager::BuildColumnStats(*col);
   EXPECT_EQ(s.distinct_count, 3u);
   ASSERT_NE(s.dict, nullptr);
@@ -151,8 +157,8 @@ TEST(ColumnStatsTest, EncodedColumnsProduceIdenticalStats) {
   // change statistics: BuildColumnStats decodes values first.
   std::vector<int64_t> vals;
   for (int i = 0; i < 500; ++i) vals.push_back(1000 + (i * 7) % 90);
-  auto plain = ColumnData::MakeInts(vals);
-  auto encoded = ColumnData::MakeInts(vals);
+  auto plain = ColumnBuilder(TypeId::kInt64).AppendInts(vals).Build();
+  auto encoded = ColumnBuilder(TypeId::kInt64).AppendInts(vals).Build();
   encoded->Encode();
   ASSERT_TRUE(encoded->encoded());
   ColumnStats a = StatsManager::BuildColumnStats(*plain);

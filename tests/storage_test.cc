@@ -68,7 +68,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CompressionRoundtripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 TEST(ColumnTest, EncodeDecodePreservesData) {
-  auto col = ColumnData::MakeInts({5, 6, 7, 8});
+  auto col = ColumnBuilder(TypeId::kInt64).AppendInts({5, 6, 7, 8}).Build();
   col->Encode();
   EXPECT_TRUE(col->encoded());
   EXPECT_EQ(col->DecodeInts(), (std::vector<int64_t>{5, 6, 7, 8}));
@@ -78,8 +78,8 @@ TEST(ColumnTest, EncodeDecodePreservesData) {
 }
 
 TEST(ColumnTest, SwapPayloadIsPointerExchange) {
-  auto a = ColumnData::MakeDoubles({1, 2, 3});
-  auto b = ColumnData::MakeDoubles({9, 8, 7});
+  auto a = ColumnBuilder(TypeId::kFloat64).AppendDoubles({1, 2, 3}).Build();
+  auto b = ColumnBuilder(TypeId::kFloat64).AppendDoubles({9, 8, 7}).Build();
   const void* a_payload = a->PlainDoubles().get();
   a->SwapPayload(*b);
   EXPECT_EQ(b->PlainDoubles().get(), a_payload);  // no copy happened
@@ -87,13 +87,14 @@ TEST(ColumnTest, SwapPayloadIsPointerExchange) {
 }
 
 TEST(ColumnTest, SwapRejectsTypeMismatch) {
-  auto a = ColumnData::MakeDoubles({1});
-  auto b = ColumnData::MakeInts({1});
+  auto a = ColumnBuilder(TypeId::kFloat64).AppendDoubles({1}).Build();
+  auto b = ColumnBuilder(TypeId::kInt64).AppendInts({1}).Build();
   EXPECT_THROW(a->SwapPayload(*b), JbError);
 }
 
 TEST(ColumnTest, DictionaryStrings) {
-  auto col = ColumnData::MakeStrings({"x", "y", "x"});
+  auto col =
+      ColumnBuilder(TypeId::kString).AppendStrings({"x", "y", "x"}).Build();
   EXPECT_EQ(col->dict()->size(), 2u);
   EXPECT_EQ(col->GetValue(0).s, "x");
   EXPECT_EQ(col->GetValue(2).i, col->GetValue(0).i);
@@ -102,7 +103,7 @@ TEST(ColumnTest, DictionaryStrings) {
 TEST(TableTest, SchemaValidation) {
   EXPECT_THROW(
       Table("t", Schema({{"a", TypeId::kInt64}}),
-            {ColumnData::MakeDoubles({1.0})}),
+            {ColumnBuilder(TypeId::kFloat64).AppendDoubles({1.0}).Build()}),
       JbError);  // type mismatch
   auto ok = TableBuilder("t").AddInts("a", {1, 2}).Build();
   EXPECT_EQ(ok->num_rows(), 2u);
