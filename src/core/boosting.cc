@@ -383,6 +383,9 @@ Ensemble GradientBoosting::Train() {
       session.is_snowflake() ? nullptr : &session.clusters();
 
   for (int iter = 0; iter < params_.num_iterations; ++iter) {
+    // Round boundary: a cancelled/deadlined guard stops training between
+    // trees, leaving `model` with only fully-applied rounds.
+    if (params_.guard != nullptr) params_.guard->Check();
     GrowthResult grown =
         grower.Grow(features, session.y_fact(), clusters);
     // Shrink leaf values into the stored model.

@@ -87,11 +87,13 @@ Ensemble RandomForest::Train() {
   if (params_.inter_query_parallelism) {
     // Tree-wise parallelism (§5.5.3): each tree has its own sample table and
     // factorizer; the engine serializes catalog access internally.
-    session_->db().pool().ParallelFor(
-        model.trees.size(),
-        [&](size_t t) { model.trees[t] = TrainOneTree(static_cast<int>(t)); });
+    session_->db().pool().ParallelFor(model.trees.size(), [&](size_t t) {
+      if (params_.guard != nullptr) params_.guard->Check();
+      model.trees[t] = TrainOneTree(static_cast<int>(t));
+    });
   } else {
     for (size_t t = 0; t < model.trees.size(); ++t) {
+      if (params_.guard != nullptr) params_.guard->Check();
       model.trees[t] = TrainOneTree(static_cast<int>(t));
     }
   }

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/query_guard.h"
+
 namespace joinboost {
 namespace core {
 
@@ -62,6 +64,11 @@ struct TrainParams {
   /// Histogram binning (Appendix D.3): 0 disables; otherwise features are
   /// bucketed into this many bins and training runs over the cuboid.
   int max_bin = 0;
+
+  /// Optional lifecycle guard (not owned): the trainers check it at every
+  /// boosting-round / tree boundary, so a long training run can be cancelled
+  /// or deadlined between trees. Null = ungoverned.
+  util::QueryGuard* guard = nullptr;
 };
 
 }  // namespace core

@@ -361,10 +361,14 @@ CompressedScanResult TryCompressedScan(const Table& table,
     if (enc_int[c] || enc_dbl[c]) touched[c].assign(n_blocks, 0);
   }
 
+  util::QueryGuard* guard = ctx.guard;
   for (const Lowered& p : lowered) {
     const EncodedInts::Block* const* pblocks = iblk[p.col].data();
     uint8_t* touch = touched[p.col].data();
     auto process = [&](size_t b) {
+      // Per-block guard granularity: a cancel/deadline lands within one
+      // block of the trigger even inside the fused scan.
+      if (guard != nullptr) guard->Check();
       if (!block_alive[b]) return;  // already dead: no decode, stays skipped
       const EncodedInts::Block& blk = *pblocks[b];
       const size_t base = layout[b].row_begin;
@@ -395,6 +399,10 @@ CompressedScanResult TryCompressedScan(const Table& table,
       for (size_t b = 0; b < n_blocks; ++b) process(b);
     }
   }
+  if (guard != nullptr && ctx.stats != nullptr) {
+    // One check per (conjunct, block), independent of scheduling.
+    ctx.stats->guard_checks += lowered.size() * n_blocks;
+  }
 
   std::vector<uint32_t> sel;
   sel.reserve(rows / 4);
@@ -413,6 +421,9 @@ CompressedScanResult TryCompressedScan(const Table& table,
   // blocks); plain payloads gather through their own chunk list.
   auto materialize_at = [&](size_t c,
                             const std::vector<uint32_t>& at) -> VectorData {
+    // The late-materialization buffer is a tracked allocation: 8 bytes per
+    // surviving row, charged against the query's byte budget.
+    if (guard != nullptr) guard->ChargeBytes(at.size() * 8);
     const auto& col = table.column(static_cast<size_t>(cols[c]));
     VectorData v;
     v.type = col->type();

@@ -8,6 +8,7 @@
 #include "sql/expr_util.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/error.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -231,47 +232,74 @@ ExecTable Database::Query(const ReadContext& rctx,
   octx.morsel_rows = prof.morsel_rows;
   octx.parallel_threshold = prof.parallel_threshold_rows;
   octx.compressed_exec = prof.compressed_exec && prof.compression;
+  octx.guard = rctx.guard;
 
   EvalContext ectx;
   // Subqueries resolve through the same ReadContext, so a pinned snapshot
-  // (and any profile override) covers the whole statement.
+  // (and any profile override, and the lifecycle guard) covers the whole
+  // statement.
   ectx.run_subquery = [this, &rctx](const sql::SelectStmt& sub) {
     return Query(rctx, sub);
   };
 
-  ExecTable current;
-  if (prof.use_planner) {
-    plan::PlannerContext pctx;
-    if (prof.cost_based_planner) {
-      pctx.stats = &stats_mgr_;
-      pctx.cache = &plan_cache_;
-    }
-    plan::ParallelPolicy policy;
-    policy.threads = prof.columnar_exec ? octx.threads : 1;  // X-row is serial
-    policy.morsel_rows = prof.morsel_rows;
-    policy.threshold_rows = prof.parallel_threshold_rows;
-    plan::LogicalPlan lp =
-        plan::PlanSelect(stmt, cat, /*for_explain=*/false, policy, &pctx);
-    ++local.queries_planned;
-    local.predicates_pushed += lp.predicates_pushed;
-    local.constants_folded += lp.constants_folded;
-    if (lp.joins_reordered) ++local.joins_reordered;
-    if (lp.joins_reordered_dp) ++local.joins_reordered_dp;
-    if (lp.plan_cache == 1) {
-      ++local.plan_cache_hits;
-    } else if (lp.plan_cache == 0) {
-      ++local.plan_cache_misses;
-    }
-    current = ExecutePlanNode(cat, *lp.data_root, octx, ectx);
-  } else {
-    current = RunFromWhere(cat, stmt, octx, ectx);
-  }
-  ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
-  {
+  auto merge_stats = [&local, this] {
     std::lock_guard<std::mutex> lock(stats_mu_);
     plan_stats_ += local;
+  };
+  try {
+    ExecTable current;
+    if (prof.use_planner) {
+      plan::PlannerContext pctx;
+      if (prof.cost_based_planner) {
+        pctx.stats = &stats_mgr_;
+        pctx.cache = &plan_cache_;
+      }
+      plan::ParallelPolicy policy;
+      policy.threads =
+          prof.columnar_exec ? octx.threads : 1;  // X-row is serial
+      policy.morsel_rows = prof.morsel_rows;
+      policy.threshold_rows = prof.parallel_threshold_rows;
+      plan::LogicalPlan lp =
+          plan::PlanSelect(stmt, cat, /*for_explain=*/false, policy, &pctx);
+      ++local.queries_planned;
+      local.predicates_pushed += lp.predicates_pushed;
+      local.constants_folded += lp.constants_folded;
+      if (lp.joins_reordered) ++local.joins_reordered;
+      if (lp.joins_reordered_dp) ++local.joins_reordered_dp;
+      if (lp.plan_cache == 1) {
+        ++local.plan_cache_hits;
+      } else if (lp.plan_cache == 0) {
+        ++local.plan_cache_misses;
+      }
+      current = ExecutePlanNode(cat, *lp.data_root, octx, ectx);
+    } else {
+      current = RunFromWhere(cat, stmt, octx, ectx);
+    }
+    ExecTable out = FinishSelect(stmt, std::move(current), octx, ectx);
+    merge_stats();
+    return out;
+  } catch (const QueryAborted& e) {
+    // An abort is a normal lifecycle outcome: record the reason and keep the
+    // counters gathered so far, then let the typed error propagate.
+    switch (e.reason()) {
+      case AbortReason::kCancelled:
+        ++local.queries_cancelled;
+        break;
+      case AbortReason::kDeadlineExceeded:
+        ++local.deadline_aborts;
+        break;
+      case AbortReason::kMemoryBudget:
+        ++local.budget_aborts;
+        break;
+    }
+    merge_stats();
+    throw;
+  } catch (...) {
+    // Injected faults and genuine errors still merge partial counters so
+    // totals never under-report work that actually ran.
+    merge_stats();
+    throw;
   }
-  return out;
 }
 
 std::string Database::ExplainSelect(const sql::SelectStmt& stmt) {
@@ -643,17 +671,23 @@ TablePtr Database::MaterializeResult(const std::string& name,
     table->EncodeAll();  // real compression cost on CREATE
   }
   if (profile_.wal && !as_dataframe) {
-    // Log the created data (DBMSes WAL new tables too).
+    // Log the created data (DBMSes WAL new tables too). The records are
+    // staged and appended as one atomic batch so a failed write (device
+    // error, injected fault) leaves neither partial WAL entries nor a
+    // registered table behind.
+    std::vector<WriteAheadLog::Record> wal_recs;
+    wal_recs.reserve(table->num_columns());
     for (size_t i = 0; i < table->num_columns(); ++i) {
       const auto& col = table->column(i);
       if (col->type() == TypeId::kFloat64) {
-        wal_->LogDoubles(name, table->schema().field(i).name, {},
-                         col->DecodeDoubles());
+        wal_recs.push_back(WriteAheadLog::MakeDoubles(
+            name, table->schema().field(i).name, {}, col->DecodeDoubles()));
       } else {
-        wal_->LogInts(name, table->schema().field(i).name, {},
-                      col->DecodeInts());
+        wal_recs.push_back(WriteAheadLog::MakeInts(
+            name, table->schema().field(i).name, {}, col->DecodeInts()));
       }
     }
+    wal_->LogBatch(std::move(wal_recs));
   }
   catalog_.Register(table);
   {
@@ -696,9 +730,6 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
   }
   if (touched.empty()) return 0;
 
-  uint64_t txn = 0;
-  if (profile_.mvcc) txn = versions_.BeginTxn();
-
   // Row stores touch whole rows: emulate the row rewrite traffic.
   if (!profile_.columnar_exec) {
     size_t row_bytes = 0;
@@ -734,6 +765,18 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
   std::vector<ColumnPtr> new_cols = table->columns();
   size_t chunks_rewritten = 0;
   size_t chunks_created = 0;
+  // MVCC undo payloads and WAL records are STAGED during the fallible
+  // evaluate/rewrite loop and only applied in the publish stage below, so an
+  // exception thrown by a later SET item (bad expression, injected fault)
+  // leaves the version store, the WAL, and the catalog exactly as they were.
+  struct StagedUndo {
+    std::string column;
+    bool is_double = false;
+    std::vector<double> dbls;
+    std::vector<int64_t> ints;
+  };
+  std::vector<StagedUndo> undo;
+  std::vector<WriteAheadLog::Record> wal_recs;
   for (const auto& [col_name, expr] : stmt.set_items) {
     int idx = table->schema().FieldIndex(col_name);
     JB_CHECK_MSG(idx >= 0, "UPDATE: no column " << col_name);
@@ -758,11 +801,12 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
         data[r] = nv;
       }
       if (profile_.mvcc) {
-        versions_.RecordDoubles(txn, stmt.table, col_name, touched,
-                                std::move(old_touched));
+        undo.push_back({col_name, /*is_double=*/true, std::move(old_touched),
+                        {}});
       }
       if (profile_.wal) {
-        wal_->LogDoubles(stmt.table, col_name, touched, new_touched);
+        wal_recs.push_back(WriteAheadLog::MakeDoubles(stmt.table, col_name,
+                                                      touched, new_touched));
       }
       // Preserve the column's chunk layout so the rewrite is invisible to
       // chunk-aligned consumers (same boundaries, new segment identities).
@@ -783,11 +827,12 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
         data[r] = nv;
       }
       if (profile_.mvcc) {
-        versions_.RecordInts(txn, stmt.table, col_name, touched,
-                             std::move(old_touched));
+        undo.push_back({col_name, /*is_double=*/false, {},
+                        std::move(old_touched)});
       }
       if (profile_.wal) {
-        wal_->LogInts(stmt.table, col_name, touched, new_touched);
+        wal_recs.push_back(WriteAheadLog::MakeInts(stmt.table, col_name,
+                                                   touched, new_touched));
       }
       replacement =
           col->type() == TypeId::kString
@@ -808,6 +853,22 @@ size_t Database::ExecuteUpdate(const sql::Statement& stmt) {
   auto updated = std::make_shared<Table>(stmt.table, table->schema(),
                                          std::move(new_cols));
   updated->set_dataframe(table->dataframe());
+  // Publish stage: all fallible computation is done. WAL first (LogBatch is
+  // all-or-nothing and the only step that can still fail), then the MVCC
+  // undo records, then the single atomic catalog swap.
+  if (profile_.wal) wal_->LogBatch(std::move(wal_recs));
+  if (profile_.mvcc) {
+    uint64_t txn = versions_.BeginTxn();
+    for (auto& u : undo) {
+      if (u.is_double) {
+        versions_.RecordDoubles(txn, stmt.table, u.column, touched,
+                                std::move(u.dbls));
+      } else {
+        versions_.RecordInts(txn, stmt.table, u.column, touched,
+                             std::move(u.ints));
+      }
+    }
+  }
   catalog_.Register(updated);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -823,7 +884,6 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
   JB_CHECK_MSG(rows.cols.size() >= table->num_columns(),
                "AppendRows: batch has fewer columns than " << name);
   if (rows.rows == 0) return table;  // nothing to seal
-  if (profile_.mvcc) versions_.BeginTxn();
 
   // Copy-on-write growth, same publication discipline as ExecuteUpdate: the
   // grown table is built aside and swapped in atomically, so readers see the
@@ -837,6 +897,10 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
   size_t chunks_rewritten = 0;
   std::vector<ColumnPtr> new_cols;
   new_cols.reserve(table->num_columns());
+  // WAL records are staged and batch-appended in the publish stage, so a
+  // schema mismatch or injected fault on a later column leaves no trace of
+  // the aborted append in the log.
+  std::vector<WriteAheadLog::Record> wal_recs;
   for (size_t i = 0; i < table->num_columns(); ++i) {
     const Field& field = table->schema().field(i);
     int src = rows.Find("", field.name);
@@ -855,8 +919,8 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
       JB_CHECK_MSG(v.type == TypeId::kFloat64,
                    "AppendRows: type mismatch for " << field.name);
       if (profile_.wal) {
-        wal_->LogDoubles(name, field.name, {},
-                         std::vector<double>(v.dbls->begin(), v.dbls->end()));
+        wal_recs.push_back(
+            WriteAheadLog::MakeDoubles(name, field.name, {}, *v.dbls));
       }
       batch_builder.AppendDoubles(
           std::vector<double>(v.dbls->begin(), v.dbls->end()));
@@ -874,14 +938,17 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
         appended.push_back(code == kNullInt64 ? kNullInt64
                                               : dict.GetOrAdd(v.dict->At(code)));
       }
-      if (profile_.wal) wal_->LogInts(name, field.name, {}, appended);
+      if (profile_.wal) {
+        wal_recs.push_back(
+            WriteAheadLog::MakeInts(name, field.name, {}, appended));
+      }
       batch_builder.AppendCodes(std::move(appended));
     } else {
       JB_CHECK_MSG(v.type == TypeId::kInt64,
                    "AppendRows: type mismatch for " << field.name);
       if (profile_.wal) {
-        wal_->LogInts(name, field.name, {},
-                      std::vector<int64_t>(v.ints->begin(), v.ints->end()));
+        wal_recs.push_back(
+            WriteAheadLog::MakeInts(name, field.name, {}, *v.ints));
       }
       batch_builder.AppendInts(
           std::vector<int64_t>(v.ints->begin(), v.ints->end()));
@@ -933,6 +1000,10 @@ TablePtr Database::AppendRows(const std::string& name, const ExecTable& rows) {
   auto grown_table =
       std::make_shared<Table>(name, table->schema(), std::move(new_cols));
   grown_table->set_dataframe(table->dataframe());
+  // Publish stage: WAL first (the only remaining fallible step), then the
+  // MVCC txn marker, then the atomic catalog swap.
+  if (profile_.wal) wal_->LogBatch(std::move(wal_recs));
+  if (profile_.mvcc) versions_.BeginTxn();
   catalog_.Register(grown_table);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -15,6 +15,7 @@
 #include "storage/engine_profile.h"
 #include "storage/mvcc.h"
 #include "storage/wal.h"
+#include "util/query_guard.h"
 #include "util/threadpool.h"
 
 namespace joinboost {
@@ -31,6 +32,11 @@ struct ReadContext {
   const Catalog* catalog = nullptr;        ///< null = live catalog
   const EngineProfile* profile = nullptr;  ///< null = database profile
   std::string tag;                         ///< query-log label (parse paths)
+  /// Optional lifecycle guard (cancellation / deadline / byte budget).
+  /// Checked at every morsel boundary, per compressed block, and at operator
+  /// seal points; subqueries inherit it through the recursive Query call.
+  /// Null = ungoverned (zero-overhead fast path).
+  util::QueryGuard* guard = nullptr;
 };
 
 /// The engine facade: a self-contained in-memory SQL database. JoinBoost's

@@ -1,5 +1,7 @@
 #include "exec/hash_table.h"
 
+#include "util/fault_injection.h"
+
 namespace joinboost {
 namespace exec {
 namespace hash {
@@ -15,6 +17,9 @@ void FlatHashTable::Init(size_t expected) {
 }
 
 void FlatHashTable::Grow() {
+  // Chaos point: a growth that fails before any slot moves models a directory
+  // allocation dying under memory pressure; the table is still intact.
+  util::fault::Maybe("hash-grow");
   // Chains live outside the table, so growth is a pure re-placement of the
   // occupied slots into a doubled directory.
   std::vector<uint8_t> old_tags = std::move(tags_);

@@ -15,7 +15,11 @@ namespace morsel {
 
 size_t NumMorsels(const OpContext& ctx, size_t rows) {
   if (rows == 0) return 0;
-  if (!ctx.CanParallel(rows)) return 1;
+  // Governed queries always split into logical morsels — even when executed
+  // serially — so the guard is checked (and an abort observed) within one
+  // morsel of the trigger for any thread count, and guard_checks counts the
+  // same logical quantity regardless of how the morsels were scheduled.
+  if (!ctx.CanParallel(rows) && ctx.guard == nullptr) return 1;
   size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
   return (rows + mr - 1) / mr;
 }
@@ -24,14 +28,31 @@ RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
                        const std::function<void(size_t, size_t, size_t)>& fn) {
   RunStats rs;
   if (rows == 0) return rs;
+  util::QueryGuard* guard = ctx.guard;
   if (!ctx.CanParallel(rows)) {
-    fn(0, 0, rows);
-    rs.morsels = 1;
+    if (guard == nullptr) {
+      fn(0, 0, rows);
+      rs.morsels = 1;
+      return rs;
+    }
+    // Serial governed path: same logical morsels as the parallel path, with
+    // a cooperative guard check ahead of each one.
+    size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
+    size_t n = (rows + mr - 1) / mr;
+    for (size_t m = 0; m < n; ++m) {
+      guard->Check();
+      fn(m, m * mr, std::min(rows, m * mr + mr));
+    }
+    rs.morsels = n;
+    if (ctx.stats != nullptr && ctx.count_guard_checks) {
+      ctx.stats->guard_checks += n;
+    }
     return rs;
   }
   size_t mr = std::max<size_t>(ctx.morsel_rows, 1);
   size_t n = (rows + mr - 1) / mr;
   ThreadPool::ParallelForStats ps = ctx.pool->ParallelFor(n, [&](size_t m) {
+    if (guard != nullptr) guard->Check();
     size_t begin = m * mr;
     size_t end = std::min(rows, begin + mr);
     fn(m, begin, end);
@@ -42,6 +63,9 @@ RunStats ForEachMorsel(const OpContext& ctx, size_t rows,
     // Updated by the dispatching thread only, after all morsels finished.
     ctx.stats->morsels_dispatched += rs.morsels;
     ctx.stats->morsels_stolen += rs.stolen;
+    if (guard != nullptr && ctx.count_guard_checks) {
+      ctx.stats->guard_checks += n;
+    }
   }
   return rs;
 }
@@ -71,15 +95,21 @@ RunStats ForEachRange(const OpContext& ctx, size_t rows,
                       const std::function<void(size_t, size_t, size_t)>& fn) {
   RunStats rs;
   if (ranges.empty()) return rs;
+  util::QueryGuard* guard = ctx.guard;
   if (!ctx.CanParallel(rows) || ranges.size() == 1) {
     for (size_t i = 0; i < ranges.size(); ++i) {
+      if (guard != nullptr) guard->Check();
       fn(i, ranges[i].first, ranges[i].second);
     }
     rs.morsels = 1;
+    if (guard != nullptr && ctx.stats != nullptr && ctx.count_guard_checks) {
+      ctx.stats->guard_checks += ranges.size();
+    }
     return rs;
   }
   ThreadPool::ParallelForStats ps =
       ctx.pool->ParallelFor(ranges.size(), [&](size_t i) {
+        if (guard != nullptr) guard->Check();
         fn(i, ranges[i].first, ranges[i].second);
       });
   rs.morsels = ranges.size();
@@ -88,6 +118,9 @@ RunStats ForEachRange(const OpContext& ctx, size_t rows,
     // Updated by the dispatching thread only, after all ranges finished.
     ctx.stats->morsels_dispatched += rs.morsels;
     ctx.stats->morsels_stolen += rs.stolen;
+    if (guard != nullptr && ctx.count_guard_checks) {
+      ctx.stats->guard_checks += ranges.size();
+    }
   }
   return rs;
 }
@@ -290,7 +323,12 @@ std::shared_ptr<const std::vector<T>> GatherInto(
 VectorData ParallelGather(const VectorData& v,
                           const std::vector<uint32_t>& idx,
                           const OpContext& ctx) {
-  if (!ctx.CanParallel(idx.size())) return v.Gather(idx);
+  // Governed gathers always take the logical-morsel loop — even serially —
+  // so guard checks land within one morsel and guard_checks counts the same
+  // structure for any thread count.
+  if (!ctx.CanParallel(idx.size()) && ctx.guard == nullptr) {
+    return v.Gather(idx);
+  }
   VectorData out;
   out.type = v.type;
   out.dict = v.dict;
@@ -329,7 +367,9 @@ VectorData ParallelGatherWithNulls(const VectorData& v,
 ExecTable ParallelGatherRows(const ExecTable& input,
                              const std::vector<uint32_t>& idx,
                              const OpContext& ctx) {
-  if (!ctx.CanParallel(idx.size())) return input.GatherRows(idx);
+  if (!ctx.CanParallel(idx.size()) && ctx.guard == nullptr) {
+    return input.GatherRows(idx);
+  }
   ExecTable out;
   out.rows = idx.size();
   out.cols.reserve(input.cols.size());
@@ -462,7 +502,12 @@ std::vector<std::vector<uint32_t>> PartitionRowsByHash(
   size_t M = NumMorsels(ctx, n);
   std::vector<std::vector<std::vector<uint32_t>>> scatter(
       M, std::vector<std::vector<uint32_t>>(parts));
-  ForEachMorsel(ctx, n, [&](size_t m, size_t begin, size_t end) {
+  // The scatter is a scheduling detail of the partitioned (parallel) path —
+  // the serial algorithm has no such pass. Its guard checks still run, but
+  // are left out of guard_checks so the counter is thread-count invariant.
+  OpContext scatter_ctx = ctx;
+  scatter_ctx.count_guard_checks = false;
+  ForEachMorsel(scatter_ctx, n, [&](size_t m, size_t begin, size_t end) {
     auto& local = scatter[m];
     for (size_t r = begin; r < end; ++r) {
       local[hashes[r] % parts].push_back(static_cast<uint32_t>(r));

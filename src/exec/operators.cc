@@ -24,6 +24,23 @@ size_t CanonicalHashBytes(size_t rows, size_t keys) {
   return rows * sizeof(uint32_t) + hash::SlotCountFor(keys) * hash::kSlotBytes;
 }
 
+/// Charge a tracked allocation (hash table, materialization buffer) against
+/// the query's byte budget. The amounts mirror the hash_bytes /
+/// decompression accounting, so budget charges are as thread-count
+/// deterministic as the stats counters they shadow.
+void ChargeTracked(const OpContext& ctx, size_t bytes) {
+  if (ctx.guard != nullptr) ctx.guard->ChargeBytes(bytes);
+}
+
+/// Operator output-seal check point: one cooperative guard check as an
+/// operator seals its output table (counted deterministically — one per
+/// sealed operator, independent of scheduling).
+void GuardSeal(const OpContext& ctx) {
+  if (ctx.guard == nullptr) return;
+  ctx.guard->Check();
+  if (ctx.stats != nullptr) ++ctx.stats->guard_checks;
+}
+
 bool CellsEqual(const VectorData& a, size_t ra, const VectorData& b,
                 size_t rb) {
   if (a.type == TypeId::kFloat64 || b.type == TypeId::kFloat64) {
@@ -81,6 +98,7 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
     CompressedScanResult cres = TryCompressedScan(table, qualifier, cols,
                                                   *spec.filter, *spec.ectx, ctx);
     if (cres.used) {
+      GuardSeal(ctx);
       if (ctx.stats != nullptr) {
         plan::PlanStats& s = *ctx.stats;
         ++s.scans;
@@ -112,6 +130,9 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
       // decodes from exactly one chunk; any partition of the rows writes
       // the same bytes, keeping results chunking- and thread-oblivious.
       col_decompressed[c] = col->encoded() ? 1 : 0;
+      // The decode buffer below is a tracked allocation: 8 bytes per row
+      // regardless of element type.
+      ChargeTracked(ctx, col->size() * 8);
       const auto ranges =
           morsel::ChunkAlignedRanges(ctx, col->chunk_offsets(), col->size());
       if (col->type() == TypeId::kFloat64) {
@@ -192,6 +213,7 @@ ExecTable ScanTable(const Table& table, const std::string& qualifier,
         morsel::ParallelEvalPredicate(*spec.filter, out, *spec.ectx, ctx);
     out = morsel::ParallelGatherRows(out, sel, ctx);
   }
+  GuardSeal(ctx);
   if (ctx.stats != nullptr) {
     plan::PlanStats& s = *ctx.stats;
     ++s.scans;
@@ -209,7 +231,9 @@ ExecTable FilterExec(const ExecTable& input, const sql::Expr& pred,
                      EvalContext& ectx, const OpContext& ctx) {
   std::vector<uint32_t> sel =
       morsel::ParallelEvalPredicate(pred, input, ectx, ctx);
-  return morsel::ParallelGatherRows(input, sel, ctx);
+  ExecTable out = morsel::ParallelGatherRows(input, sel, ctx);
+  GuardSeal(ctx);
+  return out;
 }
 
 ExecTable ConcatColumns(ExecTable left, ExecTable right) {
@@ -280,6 +304,9 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
   // order — and thus output order — is bit-identical for any P).
   const size_t P =
       ctx.CanParallel(right.rows) ? static_cast<size_t>(ctx.threads) : 1;
+  // The build's directory + chain arrays are a tracked allocation, charged
+  // with the canonical (partition-independent) footprint before building.
+  ChargeTracked(ctx, CanonicalHashBytes(right.rows, right.rows));
   std::vector<hash::JoinHashTable> parts(P);
   std::vector<uint32_t> shared_next;
   if (P == 1) {
@@ -363,7 +390,11 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
     ctx.stats->hash_bytes += CanonicalHashBytes(right.rows, right.rows);
   }
 
-  if (is_semi || is_anti) return morsel::ParallelGatherRows(left, lidx, ctx);
+  if (is_semi || is_anti) {
+    ExecTable filtered = morsel::ParallelGatherRows(left, lidx, ctx);
+    GuardSeal(ctx);
+    return filtered;
+  }
 
   ExecTable out;
   out.rows = lidx.size();
@@ -376,6 +407,7 @@ ExecTable HashJoinExec(const ExecTable& left, const ExecTable& right,
     out.cols.push_back({c.qualifier, c.name,
                         morsel::ParallelGatherWithNulls(c.data, ridx, ctx)});
   }
+  GuardSeal(ctx);
   return out;
 }
 
@@ -397,6 +429,7 @@ GroupResult GroupRows(const ExecTable& input, const std::vector<int>& key_cols,
     res.group_ids[r] = gid;
   }
   res.num_groups = res.representatives.size();
+  ChargeTracked(ctx, CanonicalHashBytes(res.num_groups, res.num_groups));
   if (ctx.stats != nullptr) {
     ctx.stats->hash_probes += input.rows;
     ctx.stats->hash_chain_follows += table.chain_follows();
@@ -647,6 +680,7 @@ GroupedAggs GroupAndAccumulate(const std::vector<VectorData>& key_vals,
       }
       out.representatives.reserve(num_groups);
       for (const GroupRef& gr : order) out.representatives.push_back(gr.rep);
+      ChargeTracked(ctx, CanonicalHashBytes(num_groups, num_groups));
       if (ctx.stats != nullptr) {
         // Mirror the serial GroupRows accounting exactly: one probe per
         // input row, chain follows summed over partitions (a hash's groups
@@ -723,6 +757,7 @@ ExecTable HashAggExec(const ExecTable& input,
     agg_outputs->push_back(v);
     out.cols.push_back({"", "__agg" + std::to_string(a), std::move(v)});
   }
+  GuardSeal(ctx);
   return out;
 }
 
@@ -869,6 +904,7 @@ MultiAggResult MultiAggExec(const ExecTable& input,
     }
     res.grouping_id = VectorData::FromInts(std::move(gid));
   }
+  GuardSeal(ctx);
   return res;
 }
 
@@ -913,7 +949,9 @@ ExecTable SortExec(const ExecTable& input,
     }
     return false;
   });
-  return morsel::ParallelGatherRows(input, idx, ctx);
+  ExecTable out = morsel::ParallelGatherRows(input, idx, ctx);
+  GuardSeal(ctx);
+  return out;
 }
 
 ExecTable LimitExec(const ExecTable& input, int64_t limit) {

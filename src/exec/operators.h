@@ -8,6 +8,7 @@
 #include "sql/ast.h"
 #include "storage/engine_profile.h"
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/threadpool.h"
 
 namespace joinboost {
@@ -23,6 +24,16 @@ struct OpContext {
   plan::PlanStats* stats = nullptr;  ///< optional per-query counters
   size_t morsel_rows = 16384;        ///< rows per dispatched morsel
   size_t parallel_threshold = 8192;  ///< inputs below this run serially
+  /// Lifecycle guard (cancellation / deadline / byte budget); nullptr =
+  /// ungoverned. Checked at morsel boundaries, per compressed block, and at
+  /// operator output-seal points; tracked allocations charge ChargeBytes().
+  util::QueryGuard* guard = nullptr;
+  /// When false, guard checks still run but are not added to
+  /// PlanStats::guard_checks. Cleared for scheduling-only passes that exist
+  /// solely on the parallel path (e.g. the hash-partition scatter), so the
+  /// counter reflects the canonical logical check structure and stays
+  /// bit-identical across thread counts.
+  bool count_guard_checks = true;
 
   /// True when an operator consuming `rows` input rows should go parallel.
   /// Row-mode (tuple-at-a-time) profiles always run serially: per-tuple

@@ -63,7 +63,11 @@ std::string FormatStats(const PlanStats& s) {
      << "hash_bytes         " << s.hash_bytes << "\n"
      << "chunks created/rewritten " << s.chunks_created << " / "
      << s.chunks_rewritten << "\n"
-     << "chunks_pruned      " << s.chunks_pruned << "\n";
+     << "chunks_pruned      " << s.chunks_pruned << "\n"
+     << "guard_checks       " << s.guard_checks << "\n"
+     << "queries_cancelled  " << s.queries_cancelled << "\n"
+     << "deadline_aborts    " << s.deadline_aborts << "\n"
+     << "budget_aborts      " << s.budget_aborts << "\n";
   return os.str();
 }
 

@@ -61,6 +61,13 @@ struct PlanStats {
                                  ///< by zone maps (never decoded); like the
                                  ///< other decode counters, deterministic
                                  ///< for any thread count
+  size_t guard_checks = 0;       ///< cooperative QueryGuard check points on
+                                 ///< governed queries (logical morsels,
+                                 ///< conjunct x block, operator seals) —
+                                 ///< deterministic for any thread count
+  size_t queries_cancelled = 0;  ///< queries aborted via QueryGuard::Cancel
+  size_t deadline_aborts = 0;    ///< queries aborted by a guard deadline
+  size_t budget_aborts = 0;      ///< queries aborted by the byte budget
 
   PlanStats& operator+=(const PlanStats& o) {
     queries_planned += o.queries_planned;
@@ -89,6 +96,10 @@ struct PlanStats {
     chunks_created += o.chunks_created;
     chunks_rewritten += o.chunks_rewritten;
     chunks_pruned += o.chunks_pruned;
+    guard_checks += o.guard_checks;
+    queries_cancelled += o.queries_cancelled;
+    deadline_aborts += o.deadline_aborts;
+    budget_aborts += o.budget_aborts;
     return *this;
   }
   PlanStats operator-(const PlanStats& o) const {
@@ -119,6 +130,10 @@ struct PlanStats {
     d.chunks_created -= o.chunks_created;
     d.chunks_rewritten -= o.chunks_rewritten;
     d.chunks_pruned -= o.chunks_pruned;
+    d.guard_checks -= o.guard_checks;
+    d.queries_cancelled -= o.queries_cancelled;
+    d.deadline_aborts -= o.deadline_aborts;
+    d.budget_aborts -= o.budget_aborts;
     return d;
   }
 };

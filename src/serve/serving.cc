@@ -1,6 +1,10 @@
 #include "serve/serving.h"
 
+#include <chrono>
+
 #include "util/check.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
 
 namespace joinboost {
 namespace serve {
@@ -8,9 +12,22 @@ namespace serve {
 bool ServingContext::AdmissionGate::Acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   bool waited = false;
-  while (free_ <= 0) {
-    waited = true;
-    cv_.wait(lock);
+  if (max_wait_ms_ <= 0) {
+    while (free_ <= 0) {
+      waited = true;
+      cv_.wait(lock);
+    }
+  } else {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(max_wait_ms_);
+    while (free_ <= 0) {
+      waited = true;
+      if (cv_.wait_until(lock, give_up) == std::cv_status::timeout &&
+          free_ <= 0) {
+        throw AdmissionRejected("no admission slot freed within " +
+                                std::to_string(max_wait_ms_) + "ms");
+      }
+    }
   }
   --free_;
   return waited;
@@ -25,7 +42,12 @@ void ServingContext::AdmissionGate::Release() {
 }
 
 ServingContext::Admission::Admission(ServingContext* ctx) : ctx_(ctx) {
-  if (ctx_->gate_.Acquire()) ctx_->admission_waits_.fetch_add(1);
+  try {
+    if (ctx_->gate_.Acquire()) ctx_->admission_waits_.fetch_add(1);
+  } catch (const AdmissionRejected&) {
+    ctx_->admission_rejected_.fetch_add(1);
+    throw;  // no slot was taken, and a throwing ctor skips the dtor's Release
+  }
 }
 
 ServingContext::Admission::~Admission() { ctx_->gate_.Release(); }
@@ -36,7 +58,8 @@ ServingContext::ServingContext(exec::Database* db,
       served_(std::move(served_tables)),
       gate_(db->profile().serve_admission_slots > 0
                 ? db->profile().serve_admission_slots
-                : db->exec_threads()) {
+                : db->exec_threads(),
+            db->profile().serve_admission_max_wait_ms) {
   std::lock_guard<std::mutex> lock(publish_mu_);
   PublishLocked(nullptr, nullptr);
 }
@@ -44,6 +67,9 @@ ServingContext::ServingContext(exec::Database* db,
 SnapshotPtr ServingContext::PublishLocked(
     std::shared_ptr<const core::Ensemble> model,
     std::shared_ptr<const core::FlatForest> forest) {
+  // Chaos point: a publish dying here must leave `current_` (and the version
+  // store) untouched — sessions keep reading the previous snapshot.
+  util::fault::Maybe("snapshot-publish");
   auto snap = std::make_shared<Snapshot>();
   snap->version = db_->versions().PublishVersion();
   for (const auto& name : served_) {
@@ -88,12 +114,23 @@ SnapshotPtr ServingContext::Republish() {
 std::shared_ptr<exec::ExecTable> ServingContext::Session::Query(
     const std::string& sql, const std::string& tag) {
   Admission slot(ctx_);
+  // Per-request governance: the deadline clock starts now (after admission —
+  // queueing does not eat the request's budget), tracked-allocation usage
+  // resets, and a sticky Cancel() from any thread trips the first guard
+  // check inside execution.
+  guard_->ResetUsage();
+  if (deadline_ms_ > 0) {
+    guard_->SetDeadlineAfter(std::chrono::milliseconds(deadline_ms_));
+  } else {
+    guard_->ClearDeadline();
+  }
   // Pin the session's snapshot catalog for the whole statement (subqueries
   // included): concurrent writers publishing new table versions stay
   // invisible until the session re-opens against a newer snapshot.
   exec::ReadContext rctx;
   rctx.catalog = &snap_->tables;
   rctx.tag = tag;
+  rctx.guard = guard_.get();
   auto result = ctx_->db_->Query(rctx, sql);
   ctx_->snapshot_reads_.fetch_add(1);
   return result;

@@ -12,6 +12,7 @@
 #include "core/model.h"
 #include "exec/engine.h"
 #include "storage/catalog.h"
+#include "util/query_guard.h"
 
 namespace joinboost {
 namespace serve {
@@ -73,15 +74,20 @@ class ServingContext {
   ServingContext(const ServingContext&) = delete;
   ServingContext& operator=(const ServingContext&) = delete;
 
-  /// A reader session pinned to one snapshot. Copyable; cheap (two
-  /// pointers). Safe to use from the owning thread only — open one session
-  /// per concurrent reader.
+  /// A reader session pinned to one snapshot. Copyable; cheap (three
+  /// pointers — copies share the lifecycle guard, so Cancel() through any
+  /// copy aborts the session's in-flight request). Queries are issued from
+  /// the owning thread only; Cancel() is safe from any thread — that is its
+  /// point.
   class Session {
    public:
     uint64_t version() const { return snap_->version; }
     const Snapshot& snapshot() const { return *snap_; }
 
-    /// Run a SELECT against the pinned snapshot (admission-gated).
+    /// Run a SELECT against the pinned snapshot (admission-gated, governed
+    /// by this session's guard: cancellation, per-request deadline, byte
+    /// budget). Throws QueryAborted on a tripped guard and
+    /// AdmissionRejected when the gate's bounded wait expires.
     std::shared_ptr<exec::ExecTable> Query(const std::string& sql,
                                            const std::string& tag = "serve");
 
@@ -89,12 +95,33 @@ class ServingContext {
     /// (admission-gated). Requires a published model.
     std::vector<double> PredictBatch(const exec::ExecTable& rows);
 
+    /// Cancel the session: the in-flight request (if any) aborts at its next
+    /// guard check with QueryAborted{kCancelled}, and every later Query on
+    /// this session fails the same way. Sticky by design — a cancelled
+    /// session is dead; open a new one to continue. Thread-safe.
+    void Cancel() { guard_->Cancel(); }
+
+    /// Deadline applied to each subsequent request, measured from the start
+    /// of that request (not from now). 0 clears it.
+    void SetDeadlineMs(int64_t ms) { deadline_ms_ = ms; }
+
+    /// Byte budget for tracked allocations (hash tables, decode buffers) per
+    /// request; usage resets at each request start. 0 = unlimited.
+    void SetByteBudget(uint64_t bytes) { guard_->set_byte_budget(bytes); }
+
+    /// The session's guard (tests observe bytes_used / cancelled state).
+    util::QueryGuard& guard() { return *guard_; }
+
    private:
     friend class ServingContext;
     Session(ServingContext* ctx, SnapshotPtr snap)
-        : ctx_(ctx), snap_(std::move(snap)) {}
+        : ctx_(ctx),
+          snap_(std::move(snap)),
+          guard_(std::make_shared<util::QueryGuard>()) {}
     ServingContext* ctx_;
     SnapshotPtr snap_;
+    std::shared_ptr<util::QueryGuard> guard_;
+    int64_t deadline_ms_ = 0;
   };
 
   /// Pin the current snapshot.
@@ -124,19 +151,21 @@ class ServingContext {
   uint64_t batched_predictions() const { return batched_predictions_.load(); }
   /// Requests that found the admission gate full and had to queue.
   uint64_t admission_waits() const { return admission_waits_.load(); }
+  /// Requests rejected because the gate's bounded wait
+  /// (serve_admission_max_wait_ms) expired before a slot freed.
+  uint64_t admission_rejected() const { return admission_rejected_.load(); }
 
   exec::Database* db() { return db_; }
 
- private:
-  /// Build + install a snapshot under publish_mu_ (caller holds it).
-  SnapshotPtr PublishLocked(std::shared_ptr<const core::Ensemble> model,
-                            std::shared_ptr<const core::FlatForest> forest);
-
-  /// Counting semaphore bounding concurrently executing requests.
+  /// Counting semaphore bounding concurrently executing requests. Public so
+  /// tests can pin gate semantics (and hold a slot deterministically);
+  /// requests go through the RAII Admission token, never this directly.
   class AdmissionGate {
    public:
-    explicit AdmissionGate(int slots) : free_(slots) {}
-    /// Returns true when the caller had to wait for a slot.
+    AdmissionGate(int slots, int64_t max_wait_ms)
+        : free_(slots), max_wait_ms_(max_wait_ms) {}
+    /// Returns true when the caller had to wait for a slot. Throws
+    /// AdmissionRejected when max_wait_ms_ > 0 and no slot frees in time.
     bool Acquire();
     void Release();
 
@@ -144,7 +173,16 @@ class ServingContext {
     std::mutex mu_;
     std::condition_variable cv_;
     int free_;
+    int64_t max_wait_ms_;  ///< 0 = unbounded wait
   };
+
+  /// The context's gate (tests occupy slots to exercise bounded admission).
+  AdmissionGate& gate() { return gate_; }
+
+ private:
+  /// Build + install a snapshot under publish_mu_ (caller holds it).
+  SnapshotPtr PublishLocked(std::shared_ptr<const core::Ensemble> model,
+                            std::shared_ptr<const core::FlatForest> forest);
 
   /// RAII admission token.
   class Admission {
@@ -167,6 +205,7 @@ class ServingContext {
   std::atomic<uint64_t> snapshot_reads_{0};
   std::atomic<uint64_t> batched_predictions_{0};
   std::atomic<uint64_t> admission_waits_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
 };
 
 }  // namespace serve

@@ -82,6 +82,12 @@ struct EngineProfile {
   /// the admission gate. 0 = match exec_threads.
   int serve_admission_slots = 0;
 
+  /// Longest a request may queue on the admission gate before it is rejected
+  /// with a typed AdmissionRejected error (serving overload sheds load
+  /// instead of building an unbounded queue). 0 = wait forever (the
+  /// historical behaviour).
+  int64_t serve_admission_max_wait_ms = 0;
+
   // ---- Presets matching the paper's systems ----
 
   /// Commercial columnar, disk-based: compression + WAL-to-disk, no swap.

@@ -3,10 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cstring>
 
 #include "util/check.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
 
 namespace joinboost {
@@ -26,14 +27,50 @@ bool WriteFully(int fd, const void* data, size_t size) {
   return true;
 }
 
-/// See WriteAheadLog::InjectWriteFailureForTest.
-std::atomic<bool> g_inject_write_failure{false};
+/// Fixed-size frame header preceding every on-disk record. Serialized
+/// field-by-field (no struct padding games) as little-endian on every
+/// platform we build for.
+constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8;
+
+void PutU32(std::vector<uint8_t>* buf, uint32_t v) {
+  size_t at = buf->size();
+  buf->resize(at + 4);
+  std::memcpy(buf->data() + at, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>* buf, uint64_t v) {
+  size_t at = buf->size();
+  buf->resize(at + 8);
+  std::memcpy(buf->data() + at, &v, 8);
+}
+
+/// Serialize one record into its on-disk frame.
+std::vector<uint8_t> FrameRecord(const WriteAheadLog::Record& rec) {
+  std::vector<uint8_t> buf;
+  buf.reserve(kFrameHeaderBytes + rec.table.size() + rec.column.size() +
+              rec.rows.size() * 4 + rec.payload.size());
+  PutU32(&buf, static_cast<uint32_t>(rec.table.size()));
+  PutU32(&buf, static_cast<uint32_t>(rec.column.size()));
+  PutU32(&buf, static_cast<uint32_t>(rec.type));
+  PutU32(&buf, static_cast<uint32_t>(rec.rows.size()));
+  PutU64(&buf, static_cast<uint64_t>(rec.payload.size()));
+  PutU64(&buf, rec.checksum);
+  size_t at = buf.size();
+  buf.resize(at + rec.table.size() + rec.column.size() + rec.rows.size() * 4 +
+             rec.payload.size());
+  uint8_t* p = buf.data() + at;
+  auto put = [&p](const void* src, size_t n) {
+    if (n > 0) std::memcpy(p, src, n);
+    p += n;
+  };
+  put(rec.table.data(), rec.table.size());
+  put(rec.column.data(), rec.column.size());
+  put(rec.rows.data(), rec.rows.size() * 4);
+  put(rec.payload.data(), rec.payload.size());
+  return buf;
+}
 
 }  // namespace
-
-void WriteAheadLog::InjectWriteFailureForTest(bool fail) {
-  g_inject_write_failure.store(fail);
-}
 
 WriteAheadLog::WriteAheadLog(bool spill_to_disk, std::string path)
     : spill_to_disk_(spill_to_disk), path_(std::move(path)) {
@@ -67,10 +104,9 @@ WriteAheadLog::~WriteAheadLog() {
   }
 }
 
-void WriteAheadLog::LogDoubles(const std::string& table,
-                               const std::string& column,
-                               const std::vector<uint32_t>& rows,
-                               const std::vector<double>& values) {
+WriteAheadLog::Record WriteAheadLog::MakeDoubles(
+    const std::string& table, const std::string& column,
+    const std::vector<uint32_t>& rows, const std::vector<double>& values) {
   Record rec;
   rec.table = table;
   rec.column = column;
@@ -79,13 +115,12 @@ void WriteAheadLog::LogDoubles(const std::string& table,
   rec.payload.resize(values.size() * sizeof(double));
   std::memcpy(rec.payload.data(), values.data(), rec.payload.size());
   rec.checksum = Fnv1a(rec.payload.data(), rec.payload.size());
-  Append(std::move(rec));
+  return rec;
 }
 
-void WriteAheadLog::LogInts(const std::string& table,
-                            const std::string& column,
-                            const std::vector<uint32_t>& rows,
-                            const std::vector<int64_t>& values) {
+WriteAheadLog::Record WriteAheadLog::MakeInts(
+    const std::string& table, const std::string& column,
+    const std::vector<uint32_t>& rows, const std::vector<int64_t>& values) {
   Record rec;
   rec.table = table;
   rec.column = column;
@@ -94,7 +129,41 @@ void WriteAheadLog::LogInts(const std::string& table,
   rec.payload.resize(values.size() * sizeof(int64_t));
   std::memcpy(rec.payload.data(), values.data(), rec.payload.size());
   rec.checksum = Fnv1a(rec.payload.data(), rec.payload.size());
-  Append(std::move(rec));
+  return rec;
+}
+
+void WriteAheadLog::LogDoubles(const std::string& table,
+                               const std::string& column,
+                               const std::vector<uint32_t>& rows,
+                               const std::vector<double>& values) {
+  Append(MakeDoubles(table, column, rows, values));
+}
+
+void WriteAheadLog::LogInts(const std::string& table,
+                            const std::string& column,
+                            const std::vector<uint32_t>& rows,
+                            const std::vector<int64_t>& values) {
+  Append(MakeInts(table, column, rows, values));
+}
+
+void WriteAheadLog::LogBatch(std::vector<Record> recs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // All-or-nothing: remember the pre-batch state and roll the file and the
+  // in-memory log back to it if any record of the batch fails.
+  off_t batch_start = fd_ >= 0 ? lseek(fd_, 0, SEEK_CUR) : 0;
+  size_t n_before = records_.size();
+  uint64_t bytes_before = bytes_written_;
+  try {
+    for (auto& rec : recs) AppendLocked(std::move(rec));
+  } catch (...) {
+    if (fd_ >= 0 && batch_start >= 0) {
+      (void)ftruncate(fd_, batch_start);
+      (void)lseek(fd_, batch_start, SEEK_SET);
+    }
+    records_.resize(n_before);
+    bytes_written_ = bytes_before;
+    throw;
+  }
 }
 
 uint64_t WriteAheadLog::bytes_written() const {
@@ -121,9 +190,74 @@ size_t WriteAheadLog::VerifyAll() const {
   return ok;
 }
 
+std::vector<WriteAheadLog::Record> WriteAheadLog::ReplayFile(
+    const std::string& path) {
+  int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  JB_CHECK_MSG(fd >= 0, "failed to open WAL file " << path << " for replay");
+  std::vector<uint8_t> bytes;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  close(fd);
+  JB_CHECK_MSG(n == 0, "read error replaying WAL file " << path);
+
+  std::vector<Record> out;
+  size_t at = 0;
+  while (at < bytes.size()) {
+    size_t rec_index = out.size();
+    if (bytes.size() - at < kFrameHeaderBytes) {
+      throw WalCorruption(WalCorruption::Kind::kTornTail,
+                          "record " + std::to_string(rec_index) +
+                              " header truncated in " + path);
+    }
+    uint32_t table_len, column_len, type, n_rows;
+    uint64_t payload_len, checksum;
+    std::memcpy(&table_len, bytes.data() + at, 4);
+    std::memcpy(&column_len, bytes.data() + at + 4, 4);
+    std::memcpy(&type, bytes.data() + at + 8, 4);
+    std::memcpy(&n_rows, bytes.data() + at + 12, 4);
+    std::memcpy(&payload_len, bytes.data() + at + 16, 8);
+    std::memcpy(&checksum, bytes.data() + at + 24, 8);
+    at += kFrameHeaderBytes;
+    uint64_t body = static_cast<uint64_t>(table_len) + column_len +
+                    static_cast<uint64_t>(n_rows) * 4 + payload_len;
+    if (bytes.size() - at < body) {
+      throw WalCorruption(WalCorruption::Kind::kTornTail,
+                          "record " + std::to_string(rec_index) +
+                              " body truncated in " + path);
+    }
+    Record rec;
+    rec.table.assign(reinterpret_cast<const char*>(bytes.data() + at),
+                     table_len);
+    at += table_len;
+    rec.column.assign(reinterpret_cast<const char*>(bytes.data() + at),
+                      column_len);
+    at += column_len;
+    rec.type = static_cast<TypeId>(type);
+    rec.rows.resize(n_rows);
+    if (n_rows > 0) {
+      std::memcpy(rec.rows.data(), bytes.data() + at, size_t{n_rows} * 4);
+    }
+    at += size_t{n_rows} * 4;
+    rec.payload.assign(bytes.data() + at, bytes.data() + at + payload_len);
+    at += payload_len;
+    rec.checksum = checksum;
+    if (Fnv1a(rec.payload.data(), rec.payload.size()) != checksum) {
+      throw WalCorruption(WalCorruption::Kind::kChecksumMismatch,
+                          "record " + std::to_string(rec_index) + " (" +
+                              rec.table + "." + rec.column + ") in " + path);
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
 void WriteAheadLog::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
+  bytes_written_ = 0;
   if (fd_ >= 0) {
     JB_CHECK(ftruncate(fd_, 0) == 0);
     JB_CHECK(lseek(fd_, 0, SEEK_SET) == 0);
@@ -132,17 +266,30 @@ void WriteAheadLog::Truncate() {
 
 void WriteAheadLog::Append(Record rec) {
   std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(std::move(rec));
+}
+
+void WriteAheadLog::AppendLocked(Record rec) {
   if (fd_ >= 0) {
     // Real disk writes (no fsync — comparable to the paper's "minimum
     // logging" setting, but the data still moves through the page cache).
     // Disk-before-memory: a failed write truncates the partial bytes away
     // and throws with the in-memory log untouched, so counters and records
-    // never report an append that is not fully on disk.
+    // never report an append that is not fully on disk. The "wal-write"
+    // chaos point fires before any byte moves, modelling a device that died
+    // at the start of the write.
     off_t start = lseek(fd_, 0, SEEK_CUR);
-    bool ok = !g_inject_write_failure.load() &&
-              WriteFully(fd_, rec.payload.data(), rec.payload.size());
-    if (ok && !rec.rows.empty()) {
-      ok = WriteFully(fd_, rec.rows.data(), rec.rows.size() * 4);
+    bool ok = false;
+    try {
+      util::fault::Maybe("wal-write");
+      std::vector<uint8_t> frame = FrameRecord(rec);
+      ok = WriteFully(fd_, frame.data(), frame.size());
+    } catch (...) {
+      if (start >= 0) {
+        (void)ftruncate(fd_, start);
+        (void)lseek(fd_, start, SEEK_SET);
+      }
+      throw;
     }
     if (!ok) {
       if (start >= 0) {
@@ -153,7 +300,8 @@ void WriteAheadLog::Append(Record rec) {
                                        << " (log file " << path_ << ")");
     }
   }
-  bytes_written_ += rec.payload.size() + rec.rows.size() * 4 + 64;
+  bytes_written_ += kFrameHeaderBytes + rec.table.size() + rec.column.size() +
+                    rec.rows.size() * 4 + rec.payload.size();
   records_.push_back(std::move(rec));
 }
 

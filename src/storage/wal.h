@@ -15,6 +15,13 @@ namespace joinboost {
 /// the log buffer (optionally spilled to a disk file), and the log can be
 /// replayed into columns after a simulated crash (tested).
 ///
+/// On-disk format: each record is framed as a fixed 32-byte header
+/// (table/column name lengths, type, row count, payload length, FNV-1a
+/// payload checksum) followed by the names, the row ids, and the payload.
+/// ReplayFile() parses the frames back, verifies every checksum, and raises
+/// a typed WalCorruption for a damaged record (checksum mismatch) or a torn
+/// tail (file ends inside a frame) instead of replaying garbage.
+///
 /// Thread-safety: all entry points (including the read-side accessors) take
 /// the internal mutex, so concurrent serving sessions can log and verify
 /// against the same WAL. The log file — whether an mkstemp temp file or a
@@ -23,6 +30,10 @@ namespace joinboost {
 /// destructor. A failed disk write leaves the log unchanged (the partial
 /// bytes are truncated away before the error propagates), so bytes_written()
 /// and num_records() never disagree with the on-disk state.
+///
+/// Failure injection: disk appends visit the "wal-write" fault-injection
+/// point (util/fault_injection.h) before any byte is written; an injected
+/// fault exercises the same rollback path as a real device error.
 class WriteAheadLog {
  public:
   struct Record {
@@ -46,6 +57,23 @@ class WriteAheadLog {
                const std::vector<uint32_t>& rows,
                const std::vector<int64_t>& values);
 
+  /// Build a record without logging it (checksum filled in) — for staging a
+  /// multi-column write that is then published atomically via LogBatch.
+  static Record MakeDoubles(const std::string& table,
+                            const std::string& column,
+                            const std::vector<uint32_t>& rows,
+                            const std::vector<double>& values);
+  static Record MakeInts(const std::string& table, const std::string& column,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<int64_t>& values);
+
+  /// Append several records as one atomic batch: either every record lands
+  /// (disk and in-memory) or, on any failure, the file and the in-memory log
+  /// roll back to the pre-batch state before the error propagates. This is
+  /// what keeps a multi-column UPDATE/append from leaving WAL entries for a
+  /// write that was never published to the catalog.
+  void LogBatch(std::vector<Record> recs);
+
   uint64_t bytes_written() const;
   size_t num_records() const;
   /// Snapshot of the log records (copy: the live vector may grow while the
@@ -62,16 +90,18 @@ class WriteAheadLog {
   /// number of valid records.
   size_t VerifyAll() const;
 
-  void Truncate();
+  /// Parse a disk-spilled log file back into records, verifying each frame's
+  /// checksum. Throws WalCorruption{kChecksumMismatch} for a record whose
+  /// payload no longer matches its checksum and WalCorruption{kTornTail}
+  /// when the file ends inside a frame (a write torn by a crash).
+  static std::vector<Record> ReplayFile(const std::string& path);
 
-  /// Failure-injection seam for tests: while set, disk-backed appends fail as
-  /// if the device were full, exercising the rollback path (partial bytes
-  /// truncated, in-memory log untouched, error thrown). Process-global;
-  /// affects spilling logs only.
-  static void InjectWriteFailureForTest(bool fail);
+  void Truncate();
 
  private:
   void Append(Record rec);
+  /// Appends with mu_ held; shared by Append and LogBatch.
+  void AppendLocked(Record rec);
 
   bool spill_to_disk_;
   std::string path_;

@@ -1,0 +1,120 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace joinboost {
+namespace util {
+namespace fault {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  bool enabled = false;
+  uint64_t seed = 0;
+  uint64_t cutoff = 0;  ///< draw < cutoff → fault (cutoff = rate * 2^64)
+  std::map<std::string, uint64_t> visits;
+  std::map<std::string, int> fail_next;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Fast-path flags so disarmed hot paths pay one relaxed load each.
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_pending_fail{0};
+std::atomic<uint64_t> g_trips{0};
+
+std::once_flag g_env_once;
+
+uint64_t RateToCutoff(double rate) {
+  if (rate <= 0) return 0;
+  if (rate >= 1) return ~0ULL;
+  return static_cast<uint64_t>(rate * 18446744073709551616.0);
+}
+
+void InitFromEnv() {
+  const char* seed_env = std::getenv("JB_FAULT_SEED");
+  const char* rate_env = std::getenv("JB_FAULT_RATE");
+  if (seed_env == nullptr && rate_env == nullptr) return;
+  uint64_t seed = seed_env ? std::strtoull(seed_env, nullptr, 10) : 1;
+  double rate = rate_env ? std::strtod(rate_env, nullptr) : 0.01;
+  Configure(seed, rate);
+}
+
+}  // namespace
+
+void Configure(uint64_t seed, double rate) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.enabled = true;
+  s.seed = seed;
+  s.cutoff = RateToCutoff(rate);
+  s.visits.clear();
+  s.fail_next.clear();
+  g_pending_fail.store(0, std::memory_order_relaxed);
+  g_trips.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.enabled = false;
+  s.visits.clear();
+  s.fail_next.clear();
+  g_pending_fail.store(0, std::memory_order_relaxed);
+  g_trips.store(0, std::memory_order_relaxed);
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool Enabled() { return g_armed.load(std::memory_order_acquire); }
+
+uint64_t Trips() { return g_trips.load(std::memory_order_relaxed); }
+
+void FailNext(const std::string& point) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.fail_next[point];
+  g_pending_fail.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Maybe(const char* point) {
+  std::call_once(g_env_once, InitFromEnv);
+  if (!g_armed.load(std::memory_order_acquire) &&
+      g_pending_fail.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  State& s = state();
+  std::string name(point);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.fail_next.find(name);
+    if (it != s.fail_next.end() && it->second > 0) {
+      if (--it->second == 0) s.fail_next.erase(it);
+      g_pending_fail.fetch_sub(1, std::memory_order_relaxed);
+      g_trips.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.enabled) {
+      uint64_t visit = ++s.visits[name];
+      uint64_t draw =
+          SplitMix64(s.seed ^ Fnv1a(point, name.size()) ^ (visit * 0x9E3779B97F4A7C15ULL));
+      if (s.cutoff == 0 || draw >= s.cutoff) return;
+      g_trips.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      return;
+    }
+  }
+  throw InjectedFault(name);
+}
+
+}  // namespace fault
+}  // namespace util
+}  // namespace joinboost

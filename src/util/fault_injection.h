@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace joinboost {
+namespace util {
+namespace fault {
+
+/// Seeded fault injection for chaos testing. The engine is instrumented with
+/// named injection points; when injection is armed, each visit to a point
+/// draws a deterministic pseudo-random number from (seed, point name, visit
+/// index) and throws a typed InjectedFault when it falls under the configured
+/// rate. The per-point visit counters make a given seed reproduce the same
+/// fault schedule per point regardless of wall clock; under a thread pool the
+/// *assignment* of visit indices to concurrent visits races, which is exactly
+/// the chaos we want — the invariant under test is typed-error propagation
+/// and abort consistency, not which visit trips.
+///
+/// Injection points instrumented today:
+///   wal-write        WriteAheadLog::Append, before any byte hits the disk
+///   hash-grow        FlatHashTable::Grow, before the directory doubles
+///   worker-task      ThreadPool::ParallelFor, before each item runs
+///   snapshot-publish ServingContext::PublishLocked, before the new snapshot
+///                    becomes current
+///
+/// Arming: programmatically via Configure(seed, rate), or from the
+/// environment via the JB_FAULT_SEED / JB_FAULT_RATE variables (read once,
+/// on the first point visit; Configure/Disable override them). Injection is
+/// process-global and off by default; the instrumented hot paths pay one
+/// relaxed atomic load when it is off.
+
+/// Arm injection: `rate` in [0, 1] is the per-visit fault probability.
+void Configure(uint64_t seed, double rate);
+
+/// Disarm injection and reset all per-point visit/trip counters.
+void Disable();
+
+bool Enabled();
+
+/// Total faults thrown since the last Configure/Disable.
+uint64_t Trips();
+
+/// Force the next visit to `point` to fail exactly once (independent of the
+/// seeded rate; works while disarmed). This is the test seam that the old
+/// WriteAheadLog::InjectWriteFailureForTest migrated onto.
+void FailNext(const std::string& point);
+
+/// Chaos check point: throws InjectedFault(point) when armed and the seeded
+/// draw (or a pending FailNext) says so; no-op otherwise.
+void Maybe(const char* point);
+
+}  // namespace fault
+}  // namespace util
+}  // namespace joinboost

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace joinboost {
+namespace util {
+
+/// Cooperative query-lifecycle guard: a cancellation flag, an optional
+/// monotonic deadline, and an optional byte budget, carried on ReadContext
+/// (and inherited by subqueries through it). The execution stack calls
+/// Check() at every morsel boundary, at per-block granularity in the
+/// compressed fused scan, and at operator output-seal points; tracked
+/// allocations (hash tables, materialization and decompression buffers) go
+/// through ChargeBytes(). A tripped guard raises a typed QueryAborted; the
+/// engine guarantees the Database stays consistent across the unwind.
+///
+/// Thread-safety: Cancel()/Check()/ChargeBytes() are safe from any thread
+/// (workers check while a client cancels). Configuration setters
+/// (set_deadline / set_byte_budget / ResetUsage) are meant for the request
+/// thread before execution starts.
+class QueryGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Trip the cancellation flag; sticky until ResetCancel().
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void ResetCancel() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  /// Absolute monotonic deadline; Clock::time_point::max() disables it.
+  void set_deadline(Clock::time_point d) {
+    deadline_ns_.store(d.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds delta) {
+    set_deadline(Clock::now() + delta);
+  }
+  void ClearDeadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  /// Byte budget for tracked allocations; 0 disables it.
+  void set_byte_budget(uint64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t byte_budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_used() const { return used_.load(std::memory_order_relaxed); }
+  /// Start a fresh request on a reused guard (serving sessions).
+  void ResetUsage() { used_.store(0, std::memory_order_relaxed); }
+
+  /// Cooperative check point: throws QueryAborted{kCancelled} or
+  /// {kDeadlineExceeded}. Cheap enough for per-morsel / per-block use
+  /// (two relaxed loads and a clock read only when a deadline is set).
+  void Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      throw QueryAborted(AbortReason::kCancelled, "guard check point");
+    }
+    int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline &&
+        Clock::now().time_since_epoch().count() >= d) {
+      throw QueryAborted(AbortReason::kDeadlineExceeded, "guard check point");
+    }
+  }
+
+  /// Charge `bytes` of tracked allocation against the budget, then run the
+  /// cancellation/deadline check. Throws QueryAborted{kMemoryBudget} when the
+  /// cumulative tracked bytes exceed the budget.
+  void ChargeBytes(uint64_t bytes) {
+    uint64_t budget = budget_.load(std::memory_order_relaxed);
+    uint64_t total =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (budget != 0 && total > budget) {
+      std::ostringstream os;
+      os << "tracked bytes " << total << " exceed budget " << budget;
+      throw QueryAborted(AbortReason::kMemoryBudget, os.str());
+    }
+    Check();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline =
+      Clock::time_point::max().time_since_epoch().count();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  std::atomic<uint64_t> budget_{0};
+  std::atomic<uint64_t> used_{0};
+};
+
+}  // namespace util
+}  // namespace joinboost

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+
 namespace joinboost {
 
 namespace {
@@ -61,7 +63,10 @@ ThreadPool::ParallelForStats ThreadPool::ParallelFor(
   if (n == 0) return stats;
   stats.items = n;
   if (n == 1 || workers_.size() == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);  // exceptions propagate directly
+    for (size_t i = 0; i < n; ++i) {
+      util::fault::Maybe("worker-task");  // same chaos point as the pool path
+      fn(i);  // exceptions propagate directly
+    }
     return stats;
   }
   // Shared dispatch state. The caller participates in the loop, so nested
@@ -85,6 +90,9 @@ ThreadPool::ParallelForStats ThreadPool::ParallelFor(
     while ((i = sh->next.fetch_add(1)) < n) {
       if (!sh->failed.load(std::memory_order_relaxed)) {
         try {
+          // Chaos point: a worker task dying before its item runs exercises
+          // first-error-wins propagation through the shared dispatch state.
+          util::fault::Maybe("worker-task");
           fn(i);
           if (helper) sh->helper_items.fetch_add(1);
         } catch (...) {

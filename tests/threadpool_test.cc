@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "util/error.h"
+#include "util/query_guard.h"
+
 namespace joinboost {
 namespace {
 
@@ -115,6 +118,167 @@ TEST(ThreadPoolTest, NestedParallelForExceptionPropagatesThroughBothLevels) {
         });
       }),
       std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation stress: a tripped QueryGuard inside pool tasks must surface as
+// the typed QueryAborted in the dispatching thread, through nesting, and the
+// pool must stay fully usable — WaitIdle never deadlocks on an abort.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolCancellationTest, TrippedGuardSurfacesTypedFromParallelFor) {
+  ThreadPool pool(4);
+  util::QueryGuard guard;
+  guard.Cancel();
+  try {
+    pool.ParallelFor(512, [&](size_t) { guard.Check(); });
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+  }
+  // Pool reusable: a clean loop right after runs every item.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(128, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(ThreadPoolCancellationTest, GuardTrippedMidLoopAbortsRemainingItems) {
+  ThreadPool pool(4);
+  util::QueryGuard guard;
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(4096, [&](size_t i) {
+      guard.Check();
+      if (i == 64) guard.Cancel();  // trip from inside a worker
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+  }
+  // Cooperative, not preemptive: some items ran, but the abort cut the loop
+  // well short of draining all 4096 items.
+  EXPECT_GT(executed.load(), 0);
+  EXPECT_LT(executed.load(), 4096);
+}
+
+TEST(ThreadPoolCancellationTest, NestedParallelForWithTrippedGuard) {
+  // Outer items fan out inner loops on the same pool while the guard trips
+  // concurrently; the typed abort must unwind through both levels without
+  // deadlocking caller-runs dispatch.
+  ThreadPool pool(2);
+  util::QueryGuard guard;
+  try {
+    pool.ParallelFor(8, [&](size_t i) {
+      pool.ParallelFor(64, [&](size_t j) {
+        if (i == 0 && j == 16) guard.Cancel();
+        guard.Check();
+      });
+    });
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+  }
+  std::atomic<int> ran{0};
+  pool.ParallelFor(32, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolCancellationTest, RacingErrorAndAbortSurfaceExactlyOne) {
+  // A task exception and a guard abort racing across workers: exactly one
+  // error surfaces (whichever recorded the smaller thrown index), it is one
+  // of the two thrown types — never a mangled or swallowed error — and the
+  // pool survives. Repeated to shake out interleavings.
+  ThreadPool pool(4);
+  for (int round = 0; round < 16; ++round) {
+    util::QueryGuard guard;
+    bool caught = false;
+    try {
+      pool.ParallelFor(2048, [&](size_t i) {
+        if (i == 0) throw std::runtime_error("real failure");
+        if (i == 100) guard.Cancel();
+        guard.Check();
+      });
+    } catch (const QueryAborted& e) {  // JbError derives std::runtime_error:
+      caught = true;                   // the typed catch must come first
+      EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "real failure");
+    }
+    EXPECT_TRUE(caught) << "round " << round;
+    std::atomic<int> ran{0};
+    pool.ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolCancellationTest, SerialDispatchErrorBeatsLaterCancel) {
+  // On a single-worker pool dispatch is in index order, so the item-0 task
+  // error deterministically beats a cancel tripped at a later index.
+  ThreadPool pool(1);
+  util::QueryGuard guard;
+  try {
+    pool.ParallelFor(64, [&](size_t i) {
+      if (i == 0) throw std::runtime_error("real failure");
+      if (i == 5) guard.Cancel();
+      guard.Check();
+    });
+    FAIL() << "expected the task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "real failure");
+  }
+}
+
+TEST(ThreadPoolCancellationTest, ConcurrentAbortsAcrossSubmitsNeverDeadlock) {
+  // Hammer Submit with tasks that throw QueryAborted while others run clean;
+  // WaitIdle must always return (consuming one pending error per call) and
+  // the pool must keep scheduling.
+  ThreadPool pool(3);
+  util::QueryGuard guard;
+  guard.Cancel();
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> clean{0};
+    for (int i = 0; i < 16; ++i) {
+      if (i % 4 == 0) {
+        pool.Submit([&] { guard.Check(); });
+      } else {
+        pool.Submit([&] { clean.fetch_add(1); });
+      }
+    }
+    // 4 aborted tasks per round: drain every pending error, then confirm
+    // the clean tasks all ran.
+    int aborted = 0;
+    for (int drains = 0; drains < 8; ++drains) {
+      try {
+        pool.WaitIdle();
+        break;
+      } catch (const QueryAborted&) {
+        ++aborted;
+      }
+    }
+    pool.WaitIdle();  // no error left: must return cleanly
+    EXPECT_EQ(clean.load(), 12) << "round " << round;
+    EXPECT_GT(aborted, 0) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolCancellationTest, SerialFallbackHonoursGuardAbort) {
+  ThreadPool pool(1);  // serial dispatch path
+  util::QueryGuard guard;
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(64, [&](size_t i) {
+      if (i == 5) guard.Cancel();
+      guard.Check();
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+  }
+  // Items 0..4 completed; item 5 cancelled and then failed its own check.
+  EXPECT_EQ(executed.load(), 5);
 }
 
 }  // namespace
